@@ -1,0 +1,214 @@
+package gulfstream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/exp"
+)
+
+// One benchmark per paper artifact (DESIGN.md §5). Each iteration runs a
+// deterministic simulation of the experiment and reports the headline
+// quantity via b.ReportMetric, so `go test -bench . -benchmem` regenerates
+// the evaluation's shape. cmd/gsbench prints the full tables.
+
+// BenchmarkFig5_TimeToStable reproduces E1 / Figure 5: the time for all
+// groups to become stable is constant in the number of adapters and equal
+// to Tb+Ts+Tgsc+δ. One representative cell per series.
+func BenchmarkFig5_TimeToStable(b *testing.B) {
+	o := exp.DefaultFig5()
+	for _, tb := range o.BeaconPhases {
+		tb := tb
+		b.Run("Tb="+tb.String(), func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				got, err := exp.Fig5Cell(o, 20, tb, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += got
+			}
+			b.ReportMetric(total.Seconds()/float64(b.N), "s-to-stable")
+			b.ReportMetric((total-time.Duration(b.N)*(tb+o.StableWait+o.StabilizeWait)).Seconds()/float64(b.N), "delta-s")
+		})
+	}
+}
+
+// BenchmarkFormula1_Validation reproduces E2: predicted vs measured
+// stabilization for one off-default parameter point.
+func BenchmarkFormula1_Validation(b *testing.B) {
+	o := exp.DefaultFormula1()
+	o.Nodes = 20
+	o.Grid = o.Grid[4:5] // Tb=5 Ts=5 Tgsc=30: an off-default point
+	for i := 0; i < b.N; i++ {
+		oo := o
+		oo.Seed = int64(i) + 5
+		if _, err := exp.Formula1(oo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBeaconLoss reproduces E3: fraction of adapters missing from
+// the initial topology at 50% loss vs the analytic p^k.
+func BenchmarkBeaconLoss(b *testing.B) {
+	o := exp.DefaultBeaconLoss()
+	o.Adapters = 20
+	o.LossRates = []float64{0.5}
+	o.Trials = 2
+	for i := 0; i < b.N; i++ {
+		o.Seed = int64(i) + 11
+		if _, err := exp.BeaconLoss(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorTradeoff reproduces E4 for the paper's two headline
+// schemes at 10% loss.
+func BenchmarkDetectorTradeoff(b *testing.B) {
+	o := exp.DefaultDetectors()
+	o.Adapters = 16
+	o.Window = 60 * time.Second
+	schemes := []exp.DetectorScheme{
+		{Name: "ring-k1", Kind: detect.Ring, Miss: 1},
+		{Name: "biring-k3", Kind: detect.BiRing, Miss: 3, Consensus: true},
+	}
+	for _, s := range schemes {
+		s := s
+		b.Run(s.Name, func(b *testing.B) {
+			var lat time.Duration
+			falseSus := 0
+			for i := 0; i < b.N; i++ {
+				r, err := exp.DetectorCell(o, s, 0.10, int64(i)+21)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Detected {
+					b.Fatal("failure undetected")
+				}
+				lat += r.DetectionLatency
+				falseSus += r.FalseSuspicions
+			}
+			b.ReportMetric(lat.Seconds()/float64(b.N), "s-detect")
+			b.ReportMetric(float64(falseSus)/float64(b.N), "false-suspicions")
+		})
+	}
+}
+
+// BenchmarkHeartbeatLoad reproduces E5: steady-state detection load per
+// scheme at one group size. Ring stays linear; all-to-all is quadratic.
+func BenchmarkHeartbeatLoad(b *testing.B) {
+	o := exp.DefaultHBLoad()
+	o.Window = 30 * time.Second
+	for _, k := range []detect.Kind{detect.Ring, detect.RandPing, detect.Subgroup, detect.AllToAll} {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				r, err := exp.HBLoadCell(o, k, 32, int64(i)+31)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate += r
+			}
+			b.ReportMetric(rate/float64(b.N), "msgs/s@32")
+		})
+	}
+}
+
+// BenchmarkLeaderFailover reproduces E6: leader death to recommitted
+// group, and Central death to rebuilt view.
+func BenchmarkLeaderFailover(b *testing.B) {
+	o := exp.DefaultFailover()
+	o.Nodes = 8
+	o.Trials = 1
+	for i := 0; i < b.N; i++ {
+		oo := o
+		oo.Seed = int64(i) + 41
+		if _, err := exp.Failover(oo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDomainMove reproduces E7: a Central-initiated VLAN move with
+// move inference and failure suppression.
+func BenchmarkDomainMove(b *testing.B) {
+	o := exp.DefaultMove()
+	o.Trials = 1
+	for i := 0; i < b.N; i++ {
+		oo := o
+		oo.Seed = int64(i) + 51
+		if _, err := exp.Move(oo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionMerge reproduces E8: healing a partition merges the
+// AMGs under the highest-IP leader.
+func BenchmarkPartitionMerge(b *testing.B) {
+	o := exp.DefaultMerge()
+	o.Sizes = [][2]int{{6, 6}}
+	for i := 0; i < b.N; i++ {
+		oo := o
+		oo.Seed = int64(i) + 61
+		if _, err := exp.Merge(oo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCentralLoad reproduces E9: report-plane silence in steady
+// state, delta-only traffic under churn.
+func BenchmarkCentralLoad(b *testing.B) {
+	o := exp.DefaultCentralLoad()
+	o.FarmSizes = []int{16}
+	o.Window = 30 * time.Second
+	for i := 0; i < b.N; i++ {
+		oo := o
+		oo.Seed = int64(i) + 71
+		if _, err := exp.CentralLoad(oo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerification reproduces E10: discovered-vs-database
+// verification with seeded inconsistencies.
+func BenchmarkVerification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Verify(exp.VerifyOptions{Seed: int64(i) + 81}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBeaconPhaseAblation reproduces E11: the §2.1 argument that a
+// zero beacon phase trades a few seconds of beaconing for a storm of
+// singleton formations and merges.
+func BenchmarkBeaconPhaseAblation(b *testing.B) {
+	o := exp.DefaultBeaconPhase()
+	o.Adapters = 16
+	for i := 0; i < b.N; i++ {
+		oo := o
+		oo.Seed = int64(i) + 91
+		if _, err := exp.BeaconPhase(oo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFarmFormation is an end-to-end microbench: how much wall time
+// the simulator needs to stabilize a 55-node (165-adapter) farm — the
+// paper's full testbed.
+func BenchmarkFarmFormation55Nodes(b *testing.B) {
+	o := exp.DefaultFig5()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig5Cell(o, 55, 5*time.Second, int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Command gsbench regenerates the paper's evaluation: every table and
+// figure in EXPERIMENTS.md, printed as aligned text tables.
+//
+// Usage:
+//
+//	gsbench [-quick] [experiment ...]
+//
+// With no arguments it runs everything. Experiments: fig5, formula1,
+// beaconloss, detector, hbload, failover, move, merge, centralload,
+// verify. -quick runs scaled-down variants (seconds instead of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+type runner struct {
+	name string
+	desc string
+	run  func(quick bool) (*exp.Table, error)
+}
+
+func runners() []runner {
+	return []runner{
+		{"fig5", "E1: time for all groups to become stable vs adapters (Figure 5)", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultFig5()
+			if q {
+				o.NodeCounts = []int{2, 10, 25}
+				o.BeaconPhases = o.BeaconPhases[:2]
+			}
+			return exp.Fig5(o)
+		}},
+		{"formula1", "E2: stabilization model T = Tb+Ts+Tgsc+δ validation", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultFormula1()
+			if q {
+				o.Nodes = 15
+				o.Grid = o.Grid[:3]
+			}
+			return exp.Formula1(o)
+		}},
+		{"beaconloss", "E3: adapters missing from the initial topology vs loss (p^k analysis)", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultBeaconLoss()
+			if q {
+				o.Adapters = 20
+				o.Trials = 3
+			}
+			return exp.BeaconLoss(o)
+		}},
+		{"detector", "E4: failure-detector trade-off (latency vs false reports)", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultDetectors()
+			if q {
+				o.Adapters = 16
+				o.LossRates = []float64{0, 0.10}
+				o.Window = 60 * time.Second
+			}
+			return exp.Detectors(o)
+		}},
+		{"hbload", "E5: steady-state detection load vs AMG size per scheme", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultHBLoad()
+			if q {
+				o.GroupSizes = []int{4, 16, 64}
+				o.Window = 30 * time.Second
+			}
+			return exp.HBLoad(o)
+		}},
+		{"failover", "E6: AMG-leader and Central failover times", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultFailover()
+			if q {
+				o.Nodes = 8
+				o.Trials = 1
+			}
+			return exp.Failover(o)
+		}},
+		{"move", "E7: Central-initiated domain move (SNMP VLAN rewrite)", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultMove()
+			if q {
+				o.Trials = 1
+			}
+			return exp.Move(o)
+		}},
+		{"merge", "E8: partition heal and AMG merge", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultMerge()
+			if q {
+				o.Sizes = [][2]int{{3, 3}, {8, 8}}
+			}
+			return exp.Merge(o)
+		}},
+		{"centralload", "E9: report-plane load at GulfStream Central", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultCentralLoad()
+			if q {
+				o.FarmSizes = []int{10, 25}
+				o.Window = 30 * time.Second
+			}
+			return exp.CentralLoad(o)
+		}},
+		{"verify", "E10: discovered-vs-database verification", func(q bool) (*exp.Table, error) {
+			return exp.Verify(exp.DefaultVerify())
+		}},
+		{"tb0", "E11: beacon-phase ablation (Tb=0 vs beaconing, §2.1)", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultBeaconPhase()
+			if q {
+				o.Adapters = 16
+			}
+			return exp.BeaconPhase(o)
+		}},
+	}
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run scaled-down variants")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gsbench [-quick] [-list] [experiment ...]\n\nexperiments:\n")
+		for _, r := range runners() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.name, r.desc)
+		}
+	}
+	flag.Parse()
+
+	all := runners()
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-12s %s\n", r.name, r.desc)
+		}
+		return
+	}
+	want := flag.Args()
+	selected := all
+	if len(want) > 0 {
+		selected = nil
+		for _, name := range want {
+			found := false
+			for _, r := range all {
+				if r.name == name {
+					selected = append(selected, r)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "gsbench: unknown experiment %q\n", name)
+				flag.Usage()
+				os.Exit(2)
+			}
+		}
+	}
+	exitCode := 0
+	for _, r := range selected {
+		start := time.Now()
+		tab, err := r.run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: %s: %v\n", r.name, err)
+			exitCode = 1
+			continue
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("(%s wall time: %.1fs)\n\n", r.name, time.Since(start).Seconds())
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,208 @@
+// Command gsctl is an interactive console for driving a simulated farm:
+// build a farm, advance virtual time, inspect the discovered topology,
+// inject faults, and trigger reconfigurations — a REPL version of the
+// gsfarm scenario runner, useful for exploring protocol behaviour.
+//
+// Usage:
+//
+//	gsctl [-admin 2] [-domains acme:2:3,globex:2:3] [-uniform N[:adapters]]
+//
+// Commands: help, run <seconds>, status, groups, events [n], kill <node>,
+// restart <node>, killsw <switch>, restoresw <switch>, move <node> <domain>,
+// fail <adapter> <recv|send|stop|ok>, verify, metrics, quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	gulfstream "repro"
+)
+
+func main() {
+	var (
+		admin   = flag.Int("admin", 2, "administrative nodes")
+		domains = flag.String("domains", "acme:2:3,globex:2:3", "domains as name:frontends:backends,...")
+		uniform = flag.String("uniform", "", "uniform nodes as N[:adaptersPerNode] (replaces -domains)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	spec := gulfstream.Spec{Seed: *seed, AdminNodes: *admin, StartSkew: 2 * time.Second, RecordEvents: true}
+	if *uniform != "" {
+		parts := strings.SplitN(*uniform, ":", 2)
+		n, err := strconv.Atoi(parts[0])
+		if err != nil {
+			fatalf("bad -uniform: %v", err)
+		}
+		spec.UniformNodes = n
+		spec.UniformAdapters = 3
+		if len(parts) == 2 {
+			if spec.UniformAdapters, err = strconv.Atoi(parts[1]); err != nil {
+				fatalf("bad -uniform: %v", err)
+			}
+		}
+	} else {
+		for _, d := range strings.Split(*domains, ",") {
+			p := strings.Split(d, ":")
+			if len(p) != 3 {
+				fatalf("bad domain %q (want name:fe:be)", d)
+			}
+			fe, err1 := strconv.Atoi(p[1])
+			be, err2 := strconv.Atoi(p[2])
+			if err1 != nil || err2 != nil {
+				fatalf("bad domain %q", d)
+			}
+			spec.Domains = append(spec.Domains, gulfstream.DomainSpec{Name: p[0], FrontEnds: fe, BackEnds: be})
+		}
+	}
+	f, err := gulfstream.NewFarm(spec)
+	if err != nil {
+		fatalf("build: %v", err)
+	}
+	f.Start()
+	fmt.Printf("farm built (%d nodes); daemons booting. type 'run 30' then 'groups'. 'help' lists commands.\n", len(f.Nodes))
+	repl(f, os.Stdin, os.Stdout)
+}
+
+// repl drives the farm from a command stream; factored out of main so it
+// can be tested with scripted input.
+func repl(f *gulfstream.Farm, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	eventCursor := 0
+	for {
+		fmt.Fprintf(out, "gsctl t=%v> ", f.Sched.Now().Truncate(time.Millisecond))
+		if !sc.Scan() {
+			return
+		}
+		args := strings.Fields(sc.Text())
+		if len(args) == 0 {
+			continue
+		}
+		switch args[0] {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Fprintln(out, "run <s> | status | groups | events [n] | kill <node> | restart <node> |")
+			fmt.Fprintln(out, "killsw <sw> | restoresw <sw> | move <node> <domain> | fail <adapter> <mode> |")
+			fmt.Fprintln(out, "verify | metrics | quit")
+		case "run":
+			secs := 10.0
+			if len(args) > 1 {
+				secs, _ = strconv.ParseFloat(args[1], 64)
+			}
+			f.RunFor(time.Duration(secs * float64(time.Second)))
+			fmt.Fprintf(out, "advanced to t=%v\n", f.Sched.Now())
+		case "status":
+			c := f.ActiveCentral()
+			if c == nil {
+				fmt.Fprintln(out, "no active GulfStream Central yet")
+				continue
+			}
+			fmt.Fprintf(out, "central active; %d groups; stable=%v\n", c.GroupCount(), c.Stable())
+		case "groups":
+			c := f.ActiveCentral()
+			if c == nil {
+				fmt.Fprintln(out, "no active central")
+				continue
+			}
+			groups := c.Groups()
+			leaders := make([]gulfstream.IP, 0, len(groups))
+			for l := range groups {
+				leaders = append(leaders, l)
+			}
+			sort.Slice(leaders, func(i, j int) bool { return leaders[i] < leaders[j] })
+			for _, l := range leaders {
+				seg, _ := f.SegmentOf(l)
+				fmt.Fprintf(out, "  %v (%s): %v\n", l, seg, groups[l])
+			}
+		case "events":
+			n := 20
+			if len(args) > 1 {
+				n, _ = strconv.Atoi(args[1])
+			}
+			log := f.Bus.Log()
+			start := eventCursor
+			if len(log)-start > n {
+				start = len(log) - n
+			}
+			for _, e := range log[start:] {
+				fmt.Fprintf(out, "  %v\n", e)
+			}
+			eventCursor = len(log)
+		case "kill":
+			do(out, len(args) == 2, func() error { return f.KillNode(args[1]) })
+		case "restart":
+			do(out, len(args) == 2, func() error { return f.RestartNode(args[1]) })
+		case "killsw":
+			do(out, len(args) == 2, func() error { return f.KillSwitch(args[1]) })
+		case "restoresw":
+			do(out, len(args) == 2, func() error { return f.RestoreSwitch(args[1]) })
+		case "move":
+			do(out, len(args) == 3, func() error {
+				return f.MoveNodeToDomain(args[1], args[2], func(err error) {
+					if err != nil {
+						fmt.Fprintf(out, "move failed: %v\n", err)
+					} else {
+						fmt.Fprintln(out, "SNMP reconfiguration complete")
+					}
+				})
+			})
+		case "fail":
+			do(out, len(args) == 3, func() error {
+				ip, ok := gulfstream.ParseIP(args[1])
+				if !ok {
+					return fmt.Errorf("bad adapter %q", args[1])
+				}
+				modes := map[string]gulfstream.FailureMode{
+					"recv": gulfstream.FailRecv, "send": gulfstream.FailSend,
+					"stop": gulfstream.FailStop, "ok": gulfstream.Healthy,
+				}
+				m, ok := modes[args[2]]
+				if !ok {
+					return fmt.Errorf("bad mode %q", args[2])
+				}
+				return f.FailAdapter(ip, m)
+			})
+		case "verify":
+			c := f.ActiveCentral()
+			if c == nil {
+				fmt.Fprintln(out, "no active central")
+				continue
+			}
+			ms := c.Verify()
+			if len(ms) == 0 {
+				fmt.Fprintln(out, "verification: clean")
+			}
+			for _, m := range ms {
+				fmt.Fprintf(out, "  %v\n", m)
+			}
+		case "metrics":
+			fmt.Fprint(out, f.Metrics.Summary())
+		default:
+			fmt.Fprintf(out, "unknown command %q (try help)\n", args[0])
+		}
+	}
+}
+
+func do(out io.Writer, ok bool, fn func() error) {
+	if !ok {
+		fmt.Fprintln(out, "wrong arguments (try help)")
+		return
+	}
+	if err := fn(); err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gsctl: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	gulfstream "repro"
+)
+
+func testFarm(t *testing.T) *gulfstream.Farm {
+	t.Helper()
+	f, err := gulfstream.NewFarm(gulfstream.Spec{
+		Seed:         9,
+		AdminNodes:   2,
+		Domains:      []gulfstream.DomainSpec{{Name: "acme", FrontEnds: 1, BackEnds: 2}},
+		StartSkew:    time.Second,
+		RecordEvents: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	return f
+}
+
+func runScript(t *testing.T, f *gulfstream.Farm, script string) string {
+	t.Helper()
+	var out strings.Builder
+	repl(f, strings.NewReader(script), &out)
+	return out.String()
+}
+
+func TestReplHappyPath(t *testing.T) {
+	f := testFarm(t)
+	out := runScript(t, f, strings.Join([]string{
+		"help",
+		"run 40",
+		"status",
+		"groups",
+		"events 5",
+		"verify",
+		"metrics",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"run <s>",             // help
+		"advanced to t=40s",   // run
+		"central active",      // status
+		"vlan-1",              // groups shows the admin segment
+		"central-elected",     // events
+		"verification: clean", // verify
+		"heartbeat",           // metrics summary
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplFaultCommands(t *testing.T) {
+	f := testFarm(t)
+	adapter := f.Nodes["acme-be-00"].Adapters[0].String()
+	out := runScript(t, f, strings.Join([]string{
+		"run 40",
+		"kill acme-be-00",
+		"run 30",
+		"restart acme-be-00",
+		"run 30",
+		"fail " + adapter + " recv",
+		"run 10",
+		"fail " + adapter + " ok",
+		"killsw sw-00",
+		"restoresw sw-00",
+		"events 100",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{"node-failed", "node-recovered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplErrors(t *testing.T) {
+	f := testFarm(t)
+	out := runScript(t, f, strings.Join([]string{
+		"kill ghost",
+		"kill",
+		"fail 1.2.3.4 martian",
+		"fail not-an-ip recv",
+		"move ghost nowhere",
+		"blargh",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"error: farm: unknown node",
+		"wrong arguments",
+		`bad mode "martian"`,
+		`bad adapter "not-an-ip"`,
+		"unknown command",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplMove(t *testing.T) {
+	f, err := gulfstream.NewFarm(gulfstream.Spec{
+		Seed:       10,
+		AdminNodes: 2,
+		Domains: []gulfstream.DomainSpec{
+			{Name: "acme", FrontEnds: 1, BackEnds: 2},
+			{Name: "globex", FrontEnds: 1, BackEnds: 2},
+		},
+		RecordEvents: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	out := runScript(t, f, strings.Join([]string{
+		"run 40",
+		"move acme-be-01 globex",
+		"run 90",
+		"verify",
+		"quit",
+	}, "\n"))
+	if !strings.Contains(out, "SNMP reconfiguration complete") {
+		t.Errorf("move did not complete:\n%s", out)
+	}
+	if !strings.Contains(out, "verification: clean") {
+		t.Errorf("post-move verify not clean:\n%s", out)
+	}
+}

@@ -1,0 +1,144 @@
+// Command gsd is the GulfStream daemon for real networks: the same
+// protocol engine the simulator runs, driven by UDP multicast/unicast
+// sockets and wall-clock time. Start one per node, listing the node's
+// adapter addresses (the first is the administrative adapter); the
+// daemons discover each other by beaconing on 224.0.0.71:7400, form
+// Adapter Membership Groups per segment, and report to whichever node's
+// administrative adapter wins the admin-AMG leadership (that node
+// activates GulfStream Central and prints farm-level events).
+//
+// Usage:
+//
+//	gsd -node web-01 -adapters 10.1.0.5,10.4.0.5,10.5.0.5 [flags]
+//
+// Network segments can be emulated on one machine with network
+// namespaces; see README.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/central"
+	"repro/internal/configdb"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/event"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		node      = flag.String("node", "", "node name (required)")
+		adapters  = flag.String("adapters", "", "comma-separated adapter IPv4 addresses; first is administrative (required)")
+		tb        = flag.Duration("tb", 5*time.Second, "beacon phase Tb")
+		ts        = flag.Duration("ts", 5*time.Second, "leader quiet wait Ts")
+		tgsc      = flag.Duration("tgsc", 15*time.Second, "Central stabilization wait Tgsc")
+		th        = flag.Duration("th", time.Second, "heartbeat interval Th")
+		miss      = flag.Int("miss", 3, "missed-heartbeat sensitivity k")
+		detName   = flag.String("detector", "biring", "failure detector: ring|biring|all-to-all|randping|subgroup")
+		dbPath    = flag.String("configdb", "", "expected-topology JSON for Central verification (optional)")
+		community = flag.String("community", "farm-admin", "SNMP community for switch management")
+		seed      = flag.Int64("seed", 0, "randomness seed (0 = time-based)")
+	)
+	flag.Parse()
+	if *node == "" || *adapters == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	kind, err := detect.ParseKind(*detName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.BeaconPhase = *tb
+	cfg.StableWait = *ts
+	cfg.Detector = kind
+	cfg.Consensus = kind == detect.BiRing
+	cfg.DetectorParams.Interval = *th
+	cfg.DetectorParams.MissThreshold = *miss
+
+	rt := transport.NewRuntime()
+	var eps []transport.Endpoint
+	for _, s := range strings.Split(*adapters, ",") {
+		ip, ok := transport.ParseIP(strings.TrimSpace(s))
+		if !ok {
+			log.Fatalf("gsd: bad adapter address %q", s)
+		}
+		ep, err := transport.NewUDPEndpoint(rt, ip)
+		if err != nil {
+			log.Fatalf("gsd: adapter %v: %v", ip, err)
+		}
+		defer ep.Close()
+		eps = append(eps, ep)
+	}
+
+	var db *configdb.DB
+	if *dbPath != "" {
+		db, err = configdb.Load(*dbPath)
+		if err != nil {
+			log.Fatalf("gsd: configdb: %v", err)
+		}
+	}
+	bus := event.NewBus(false)
+	bus.Subscribe(func(e event.Event) {
+		fmt.Printf("%s %v\n", time.Now().Format(time.RFC3339), e)
+	})
+	cc := central.DefaultConfig()
+	cc.StabilizeWait = *tgsc
+	cc.Community = *community
+	ctr := central.New(cc, rt, bus, db)
+
+	s := *seed
+	if s == 0 {
+		s = time.Now().UnixNano()
+	}
+	d, err := core.NewDaemon(cfg, *node, rt, rand.New(rand.NewSource(s)), eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.SetCentral(ctr)
+
+	// Start inside the event loop so all protocol work is serialized.
+	rt.AfterFunc(0, func() {
+		d.Start()
+		log.Printf("gsd: node %s up with %d adapters (admin %v), detector %v",
+			*node, len(eps), d.AdminIP(), kind)
+	})
+
+	// Periodic status line.
+	var status func()
+	status = func() {
+		for _, ep := range eps {
+			if v, ok := d.View(ep.LocalIP()); ok {
+				role := "member"
+				if v.Leader() == ep.LocalIP() {
+					role = "LEADER"
+				}
+				log.Printf("gsd: adapter %v: %s of %v", ep.LocalIP(), role, v)
+			} else {
+				log.Printf("gsd: adapter %v: discovering", ep.LocalIP())
+			}
+		}
+		if d.HostingCentral() {
+			log.Printf("gsd: this node hosts GulfStream Central (%d groups)", ctr.GroupCount())
+		}
+		rt.AfterFunc(30*time.Second, status)
+	}
+	rt.AfterFunc(30*time.Second, status)
+
+	go rt.Run()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("gsd: shutting down")
+	rt.Close()
+}

@@ -1,0 +1,210 @@
+// Command gsfarm runs a simulated multi-domain server farm from a JSON
+// scenario file: it builds the farm, boots the daemons, executes a
+// scripted fault/reconfiguration timeline, and prints the event stream,
+// the discovered topology, and traffic statistics.
+//
+// Usage:
+//
+//	gsfarm scenario.json
+//	gsfarm -print-example > scenario.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	gulfstream "repro"
+)
+
+// Scenario is the JSON scenario format.
+type Scenario struct {
+	Seed            int64        `json:"seed"`
+	AdminNodes      int          `json:"adminNodes"`
+	UniformNodes    int          `json:"uniformNodes,omitempty"`
+	UniformAdapters int          `json:"uniformAdapters,omitempty"`
+	Domains         []DomainJSON `json:"domains,omitempty"`
+	LossPct         float64      `json:"lossPct,omitempty"`
+	StartSkewMS     int          `json:"startSkewMs,omitempty"`
+	DurationS       int          `json:"durationS"`
+	Script          []Step       `json:"script,omitempty"`
+}
+
+// DomainJSON mirrors gulfstream.DomainSpec.
+type DomainJSON struct {
+	Name      string `json:"name"`
+	FrontEnds int    `json:"frontEnds"`
+	BackEnds  int    `json:"backEnds"`
+}
+
+// Step is one scripted action.
+type Step struct {
+	AtS    float64 `json:"atS"`
+	Action string  `json:"action"` // kill-node|restart-node|kill-switch|restore-switch|move-node|fail-adapter|verify
+	Target string  `json:"target,omitempty"`
+	Arg    string  `json:"arg,omitempty"` // move-node: destination domain; fail-adapter: recv|send|stop|ok
+}
+
+func exampleScenario() Scenario {
+	return Scenario{
+		Seed:       1,
+		AdminNodes: 2,
+		Domains: []DomainJSON{
+			{Name: "acme", FrontEnds: 2, BackEnds: 3},
+			{Name: "globex", FrontEnds: 2, BackEnds: 3},
+		},
+		StartSkewMS: 2000,
+		DurationS:   240,
+		Script: []Step{
+			{AtS: 60, Action: "kill-node", Target: "acme-be-01"},
+			{AtS: 100, Action: "restart-node", Target: "acme-be-01"},
+			{AtS: 140, Action: "move-node", Target: "globex-be-02", Arg: "acme"},
+			{AtS: 220, Action: "verify"},
+		},
+	}
+}
+
+func main() {
+	printExample := flag.Bool("print-example", false, "print an example scenario and exit")
+	quiet := flag.Bool("quiet", false, "suppress the live event stream")
+	flag.Parse()
+	if *printExample {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(exampleScenario())
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gsfarm [-quiet] scenario.json | gsfarm -print-example")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		log.Fatalf("gsfarm: bad scenario: %v", err)
+	}
+	if err := run(sc, *quiet); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(sc Scenario, quiet bool) error {
+	spec := gulfstream.Spec{
+		Seed:            sc.Seed,
+		AdminNodes:      sc.AdminNodes,
+		UniformNodes:    sc.UniformNodes,
+		UniformAdapters: sc.UniformAdapters,
+		Loss:            sc.LossPct / 100,
+		StartSkew:       time.Duration(sc.StartSkewMS) * time.Millisecond,
+		RecordEvents:    true,
+	}
+	for _, d := range sc.Domains {
+		spec.Domains = append(spec.Domains, gulfstream.DomainSpec{
+			Name: d.Name, FrontEnds: d.FrontEnds, BackEnds: d.BackEnds,
+		})
+	}
+	f, err := gulfstream.NewFarm(spec)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		f.Bus.Subscribe(func(e gulfstream.Event) { fmt.Printf("event %v\n", e) })
+	}
+
+	// Schedule the script.
+	steps := append([]Step(nil), sc.Script...)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].AtS < steps[j].AtS })
+	for _, st := range steps {
+		st := st
+		f.Sched.AfterFunc(time.Duration(st.AtS*float64(time.Second)), func() {
+			if err := apply(f, st); err != nil {
+				fmt.Printf("script %+v: ERROR %v\n", st, err)
+			} else {
+				fmt.Printf("script t=%v: %s %s %s\n", f.Sched.Now(), st.Action, st.Target, st.Arg)
+			}
+		})
+	}
+
+	f.Start()
+	f.RunFor(time.Duration(sc.DurationS) * time.Second)
+
+	// Final state.
+	fmt.Println("\n=== final topology ===")
+	c := f.ActiveCentral()
+	if c == nil {
+		fmt.Println("no active GulfStream Central")
+	} else {
+		leaders := make([]gulfstream.IP, 0)
+		groups := c.Groups()
+		for l := range groups {
+			leaders = append(leaders, l)
+		}
+		sort.Slice(leaders, func(i, j int) bool { return leaders[i] < leaders[j] })
+		for _, l := range leaders {
+			seg, _ := f.SegmentOf(l)
+			fmt.Printf("group %v (%s): %d members\n", l, seg, len(groups[l]))
+		}
+		if ms := c.Verify(); len(ms) > 0 {
+			fmt.Println("\nverification findings:")
+			for _, m := range ms {
+				fmt.Printf("  %v\n", m)
+			}
+		} else {
+			fmt.Println("\nverification: clean")
+		}
+	}
+	fmt.Println("\n=== traffic by protocol plane ===")
+	fmt.Print(f.Metrics.Summary())
+	return nil
+}
+
+func apply(f *gulfstream.Farm, st Step) error {
+	switch st.Action {
+	case "kill-node":
+		return f.KillNode(st.Target)
+	case "restart-node":
+		return f.RestartNode(st.Target)
+	case "kill-switch":
+		return f.KillSwitch(st.Target)
+	case "restore-switch":
+		return f.RestoreSwitch(st.Target)
+	case "move-node":
+		return f.MoveNodeToDomain(st.Target, st.Arg, func(err error) {
+			if err != nil {
+				fmt.Printf("move %s: SNMP error: %v\n", st.Target, err)
+			}
+		})
+	case "fail-adapter":
+		ip, ok := gulfstream.ParseIP(st.Target)
+		if !ok {
+			return fmt.Errorf("bad adapter %q", st.Target)
+		}
+		mode := map[string]gulfstream.FailureMode{
+			"recv": gulfstream.FailRecv, "send": gulfstream.FailSend,
+			"stop": gulfstream.FailStop, "ok": gulfstream.Healthy,
+		}
+		m, ok := mode[st.Arg]
+		if !ok {
+			return fmt.Errorf("bad failure mode %q", st.Arg)
+		}
+		return f.FailAdapter(ip, m)
+	case "verify":
+		c := f.ActiveCentral()
+		if c == nil {
+			return fmt.Errorf("no active central")
+		}
+		for _, m := range c.Verify() {
+			fmt.Printf("  verify: %v\n", m)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown action %q", st.Action)
+	}
+}

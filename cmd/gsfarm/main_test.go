@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	gulfstream "repro"
+)
+
+func TestExampleScenarioRoundTrips(t *testing.T) {
+	sc := exampleScenario()
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.AdminNodes != sc.AdminNodes || len(back.Domains) != len(sc.Domains) ||
+		len(back.Script) != len(sc.Script) || back.DurationS != sc.DurationS {
+		t.Fatalf("round trip mangled: %+v vs %+v", back, sc)
+	}
+}
+
+func TestRunSmallScenario(t *testing.T) {
+	sc := Scenario{
+		Seed:       3,
+		AdminNodes: 2,
+		Domains:    []DomainJSON{{Name: "acme", FrontEnds: 1, BackEnds: 2}},
+		DurationS:  60,
+		Script: []Step{
+			{AtS: 30, Action: "kill-node", Target: "acme-be-00"},
+			{AtS: 45, Action: "restart-node", Target: "acme-be-00"},
+			{AtS: 55, Action: "verify"},
+		},
+	}
+	if err := run(sc, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyActions(t *testing.T) {
+	f, err := gulfstream.NewFarm(gulfstream.Spec{
+		Seed:       1,
+		AdminNodes: 2,
+		Domains:    []gulfstream.DomainSpec{{Name: "acme", FrontEnds: 1, BackEnds: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	f.RunFor(30 * 1e9)
+	// Verify first, while the initial Central is alive (killing a node
+	// below may hit the Central host; re-election needs simulated time).
+	if err := apply(f, Step{Action: "verify"}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	cases := []struct {
+		step Step
+		ok   bool
+	}{
+		{Step{Action: "kill-node", Target: "acme-be-00"}, true},
+		{Step{Action: "restart-node", Target: "acme-be-00"}, true},
+		{Step{Action: "kill-node", Target: "ghost"}, false},
+		{Step{Action: "kill-switch", Target: "sw-00"}, true},
+		{Step{Action: "restore-switch", Target: "sw-00"}, true},
+		{Step{Action: "fail-adapter", Target: "bogus", Arg: "recv"}, false},
+		{Step{Action: "fail-adapter", Target: f.Nodes["acme-be-00"].Adapters[0].String(), Arg: "recv"}, true},
+		{Step{Action: "fail-adapter", Target: f.Nodes["acme-be-00"].Adapters[0].String(), Arg: "ok"}, true},
+		{Step{Action: "fail-adapter", Target: f.Nodes["acme-be-00"].Adapters[0].String(), Arg: "martian"}, false},
+		{Step{Action: "no-such-action"}, false},
+	}
+	for _, c := range cases {
+		err := apply(f, c.step)
+		if c.ok && err != nil {
+			t.Errorf("step %+v failed: %v", c.step, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("step %+v unexpectedly succeeded", c.step)
+		}
+	}
+}

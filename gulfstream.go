@@ -1,0 +1,151 @@
+package gulfstream
+
+import (
+	"time"
+
+	"repro/internal/amg"
+	"repro/internal/central"
+	"repro/internal/configdb"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/event"
+	"repro/internal/farm"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+// Core types, aliased from the implementation packages so that the whole
+// public surface lives here.
+type (
+	// Farm is a complete simulated multi-domain server farm: switches,
+	// VLAN segments, a configuration database, and a GulfStream daemon
+	// per node. Build one with NewFarm.
+	Farm = farm.Farm
+	// Spec describes the farm to build.
+	Spec = farm.Spec
+	// DomainSpec describes one hosted customer domain.
+	DomainSpec = farm.DomainSpec
+	// NodeInfo describes one built node.
+	NodeInfo = farm.NodeInfo
+
+	// Config carries the daemon protocol parameters (Tb, Ts, heartbeat
+	// interval, detector selection, ...).
+	Config = core.Config
+	// CentralConfig carries GulfStream Central's parameters (Tgsc, the
+	// move window, SNMP community, ...).
+	CentralConfig = central.Config
+	// DetectorParams tunes a failure detector.
+	DetectorParams = detect.Params
+	// DetectorKind selects a failure-detection strategy.
+	DetectorKind = detect.Kind
+
+	// Daemon is the per-node GulfStream agent.
+	Daemon = core.Daemon
+	// Central is the farm-view authority at the root of the reporting
+	// hierarchy.
+	Central = central.Central
+	// Membership is one committed AMG view: IP-ordered members, with the
+	// leader first and ring neighbors adjacent.
+	Membership = amg.Membership
+
+	// Event is a published notification (failures, recoveries, moves,
+	// verification findings).
+	Event = event.Event
+	// EventKind classifies events.
+	EventKind = event.Kind
+	// EventBus fans events out to subscribers.
+	EventBus = event.Bus
+
+	// IP is an IPv4 address in host order; adapter identity and leader
+	// election order.
+	IP = transport.IP
+
+	// ConfigDB is the expected-topology database.
+	ConfigDB = configdb.DB
+	// AdapterSpec is an expected adapter record.
+	AdapterSpec = configdb.AdapterSpec
+	// Mismatch is one verification finding.
+	Mismatch = configdb.Mismatch
+
+	// FailureMode enumerates adapter failure modes for fault injection.
+	FailureMode = netsim.FailureMode
+)
+
+// Detector kinds.
+const (
+	DetectorRing     = detect.Ring
+	DetectorBiRing   = detect.BiRing
+	DetectorAllToAll = detect.AllToAll
+	DetectorRandPing = detect.RandPing
+	DetectorSubgroup = detect.Subgroup
+)
+
+// Adapter failure modes for Farm.FailAdapter.
+const (
+	Healthy  = netsim.Healthy
+	FailStop = netsim.FailStop
+	FailRecv = netsim.FailRecv
+	FailSend = netsim.FailSend
+)
+
+// Event kinds.
+const (
+	AdapterFailed    = event.AdapterFailed
+	AdapterRecovered = event.AdapterRecovered
+	AdapterJoined    = event.AdapterJoined
+	NodeFailed       = event.NodeFailed
+	NodeRecovered    = event.NodeRecovered
+	SwitchFailed     = event.SwitchFailed
+	SwitchRecovered  = event.SwitchRecovered
+	NodeMoved        = event.NodeMoved
+	GroupFormed      = event.GroupFormed
+	GroupChanged     = event.GroupChanged
+	LeaderChanged    = event.LeaderChanged
+	CentralElected   = event.CentralElected
+	VerifyMismatch   = event.VerifyMismatch
+	AdapterDisabled  = event.AdapterDisabled
+)
+
+// AdminVLAN is the administrative domain's VLAN id in built farms.
+const AdminVLAN = farm.AdminVLAN
+
+// NewFarm builds the farm described by spec. Zero-valued Config and
+// CentralConfig fields fall back to the paper's defaults.
+func NewFarm(spec Spec) (*Farm, error) { return farm.Build(spec) }
+
+// DefaultConfig returns the daemon parameters of the paper's prototype
+// (Tb=5s, Ts=5s, 1s bidirectional-ring heartbeats with two-neighbor
+// consensus, ...).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultCentralConfig returns GulfStream Central's prototype parameters
+// (Tgsc=15s, ...).
+func DefaultCentralConfig() CentralConfig { return central.DefaultConfig() }
+
+// DefaultDetectorParams returns the detector tuning used by the paper's
+// experiments.
+func DefaultDetectorParams() DetectorParams { return detect.Defaults() }
+
+// ParseIP parses a dotted-quad IPv4 address.
+func ParseIP(s string) (IP, bool) { return transport.ParseIP(s) }
+
+// MakeIP builds an IP from dotted-quad components.
+func MakeIP(a, b, c, d byte) IP { return transport.MakeIP(a, b, c, d) }
+
+// ParseDetector maps a detector name ("ring", "biring", "all-to-all",
+// "randping", "subgroup") to its kind.
+func ParseDetector(name string) (DetectorKind, error) { return detect.ParseKind(name) }
+
+// FrontVLAN returns the VLAN id of domain i's front-end segment in built
+// farms; BackVLAN its back-end segment.
+func FrontVLAN(i int) int { return farm.FrontVLAN(i) }
+
+// BackVLAN returns the VLAN id of domain i's back-end segment.
+func BackVLAN(i int) int { return farm.BackVLAN(i) }
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
+
+// Stabilization is a convenience describing the paper's Formula (1):
+// the time for GulfStream Central to form a stable view of the topology.
+func Stabilization(tb, ts, tgsc time.Duration) time.Duration { return tb + ts + tgsc }

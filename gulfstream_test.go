@@ -1,0 +1,97 @@
+package gulfstream
+
+import (
+	"testing"
+	"time"
+)
+
+// The public API, exercised the way a downstream user would.
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BeaconPhase = 2 * time.Second
+	cfg.StableWait = time.Second
+	cc := DefaultCentralConfig()
+	cc.StabilizeWait = 3 * time.Second
+	f, err := NewFarm(Spec{
+		Seed:       5,
+		AdminNodes: 2,
+		Domains: []DomainSpec{
+			{Name: "acme", FrontEnds: 2, BackEnds: 2},
+		},
+		Core:         cfg,
+		Central:      cc,
+		RecordEvents: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	f.Bus.Subscribe(func(e Event) { events = append(events, e) })
+	f.Start()
+	at, ok := f.RunUntilStable(90 * time.Second)
+	if !ok {
+		t.Fatal("farm never stabilized")
+	}
+	if at <= 0 {
+		t.Fatalf("StableAt = %v", at)
+	}
+	c := f.ActiveCentral()
+	if c == nil || c.GroupCount() != 3 {
+		t.Fatalf("central groups = %v", c.Groups())
+	}
+	if len(events) == 0 {
+		t.Fatal("no events published")
+	}
+	if ms := c.Verify(); len(ms) != 0 {
+		t.Fatalf("verification: %v", ms)
+	}
+	// Failure round-trip.
+	if err := f.KillNode("acme-be-00"); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(30 * time.Second)
+	if c.NodeAlive("acme-be-00") {
+		t.Fatal("node failure not correlated")
+	}
+	if f.Bus.Count(NodeFailed) == 0 {
+		t.Fatal("no NodeFailed event")
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	ip, ok := ParseIP("10.1.2.3")
+	if !ok || ip != MakeIP(10, 1, 2, 3) {
+		t.Fatal("ParseIP/MakeIP disagree")
+	}
+	if _, err := ParseDetector("randping"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseDetector("nope"); err == nil {
+		t.Fatal("bad detector parsed")
+	}
+	if FrontVLAN(0) == BackVLAN(0) || FrontVLAN(0) == FrontVLAN(1) {
+		t.Fatal("VLAN helpers collide")
+	}
+	if AdminVLAN != 1 {
+		t.Fatal("AdminVLAN changed")
+	}
+	want := 25 * time.Second
+	if got := Stabilization(5*time.Second, 5*time.Second, 15*time.Second); got != want {
+		t.Fatalf("Stabilization = %v", got)
+	}
+	if DefaultDetectorParams().Interval <= 0 {
+		t.Fatal("bad default detector params")
+	}
+}
+
+func TestSpecValidationSurfacesErrors(t *testing.T) {
+	if _, err := NewFarm(Spec{Seed: 1}); err == nil {
+		t.Fatal("zero-node farm accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.BeaconInterval = -1
+	if _, err := NewFarm(Spec{Seed: 1, AdminNodes: 2, Core: cfg}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,660 @@
+// Package central implements GulfStream Central — the root of the
+// reporting hierarchy (paper §2.2, §3). The node whose administrative
+// adapter leads the administrative AMG hosts Central. It assembles the
+// farm-wide topology from leaders' membership reports, correlates adapter
+// failures into node and switch failures, verifies the discovered
+// topology against the configuration database (flagging and optionally
+// disabling conflicting adapters), infers domain moves from paired
+// leave/join reports and suppresses the resulting false failure
+// notifications, and drives dynamic VLAN reconfiguration through the
+// switches' SNMP agents.
+package central
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/configdb"
+	"repro/internal/event"
+	"repro/internal/snmp"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config tunes Central.
+type Config struct {
+	// StabilizeWait is Tgsc: how long the farm view must sit unchanged
+	// before Central declares the topology stable (15 s in the paper).
+	StabilizeWait time.Duration
+	// MoveWindow bounds how long a departure may wait for the matching
+	// join before an unexpected move stops being inferable.
+	MoveWindow time.Duration
+	// Community is the SNMP community used toward the switches.
+	Community string
+	// SNMPPort is the local client port on the administrative adapter.
+	SNMPPort uint16
+	// DisableConflicts makes verification send Disable orders for
+	// wrong-segment adapters (the paper's security response).
+	DisableConflicts bool
+}
+
+// DefaultConfig mirrors the prototype parameters.
+func DefaultConfig() Config {
+	return Config{
+		StabilizeWait:    15 * time.Second,
+		MoveWindow:       60 * time.Second,
+		Community:        "farm-admin",
+		SNMPPort:         7410,
+		DisableConflicts: false,
+	}
+}
+
+// group is Central's record of one AMG.
+type group struct {
+	leader  transport.IP
+	version uint64
+	members map[transport.IP]wire.Member
+	// src is the admin address of the daemon reporting for this group,
+	// kept so Central can ask it for a full resync.
+	src transport.Addr
+	// resyncAt rate-limits per-group resync requests.
+	resyncAt time.Duration
+}
+
+// adapterInfo is Central's record of one adapter's state.
+type adapterInfo struct {
+	member wire.Member
+	alive  bool
+	group  transport.IP // leader of the group it belongs to
+	diedAt time.Duration
+}
+
+// Central is the farm-view authority. Like the daemon it is event-driven
+// and must be driven from a single goroutine.
+type Central struct {
+	cfg   Config
+	clock transport.Clock
+	bus   *event.Bus
+	db    *configdb.DB // may be nil: discovery-only mode
+
+	active bool
+	ep     transport.Endpoint
+	snmp   *snmp.Client
+
+	groups   map[transport.IP]*group
+	adapters map[transport.IP]*adapterInfo
+	// nodesSeen accumulates every adapter ever reported per node, the
+	// basis of node-failure correlation.
+	nodesSeen  map[string]map[transport.IP]bool
+	nodeDead   map[string]bool
+	switchDead map[string]bool
+
+	// lastSeq dedups reports per reporting daemon (admin adapter addr).
+	lastSeq map[transport.IP]uint64
+
+	// expectedMoves holds adapters Central itself is relocating.
+	expectedMoves map[transport.IP]time.Duration
+
+	// limbo holds adapters displaced by a lineage break (a Fresh report
+	// replaced their group): still presumed alive, but if they surface in
+	// no group before the deadline they are declared failed.
+	limbo      map[transport.IP]time.Duration
+	sweepTimer transport.Timer
+
+	// switchAgents maps switch name -> SNMP agent address.
+	switchAgents map[string]transport.Addr
+	// snmpWiring holds switch->adapters wiring learned by walking the
+	// switches' own port tables (DiscoverWiring) — the paper's §3 future
+	// plan of identifying connections "by querying the routers and
+	// switches directly using SNMP" instead of trusting the database.
+	snmpWiring map[string][]transport.IP
+	// snmpSwitchOf is the reverse index.
+	snmpSwitchOf map[transport.IP]string
+
+	lastChange  time.Duration
+	everChanged bool
+
+	// OnReport, if set, observes every report as it is applied (after
+	// dedup) — an observability hook for tests and debugging tools.
+	OnReport func(src transport.Addr, r *wire.Report)
+}
+
+// New builds a Central. db may be nil (no verification or switch
+// correlation). bus receives all published events.
+func New(cfg Config, clock transport.Clock, bus *event.Bus, db *configdb.DB) *Central {
+	return &Central{
+		cfg:           cfg,
+		clock:         clock,
+		bus:           bus,
+		db:            db,
+		groups:        make(map[transport.IP]*group),
+		adapters:      make(map[transport.IP]*adapterInfo),
+		nodesSeen:     make(map[string]map[transport.IP]bool),
+		nodeDead:      make(map[string]bool),
+		switchDead:    make(map[string]bool),
+		lastSeq:       make(map[transport.IP]uint64),
+		expectedMoves: make(map[transport.IP]time.Duration),
+		limbo:         make(map[transport.IP]time.Duration),
+		switchAgents:  make(map[string]transport.Addr),
+		snmpWiring:    make(map[string][]transport.IP),
+		snmpSwitchOf:  make(map[transport.IP]string),
+	}
+}
+
+// RegisterSwitchAgent tells Central where a switch's management agent
+// lives on the administrative network.
+func (c *Central) RegisterSwitchAgent(name string, addr transport.Addr) {
+	c.switchAgents[name] = addr
+}
+
+// Activate implements core.CentralHook.
+func (c *Central) Activate(admin transport.Endpoint) {
+	c.active = true
+	c.ep = admin
+	c.snmp = snmp.NewClient(admin, c.clock, c.cfg.Community, c.cfg.SNMPPort)
+	// A fresh Central starts from nothing; leaders resend full reports.
+	c.groups = make(map[transport.IP]*group)
+	c.lastSeq = make(map[transport.IP]uint64)
+	c.limbo = make(map[transport.IP]time.Duration)
+	c.touch()
+	c.publish(event.Event{Kind: event.CentralElected, Adapter: admin.LocalIP()})
+	if c.sweepTimer == nil {
+		c.sweepTimer = c.clock.AfterFunc(5*time.Second, c.sweepTick)
+	}
+	// Pull the topology: the steady state is silent, so a Central without
+	// state must ask every daemon to resend full reports. Multicast on
+	// the administrative segment, repeated against loss.
+	c.requestResync(3)
+}
+
+// requestGroupResync asks one group's reporting daemon for a fresh full
+// report, rate-limited per group.
+func (c *Central) requestGroupResync(g *group) {
+	if c.ep == nil || g.src.IP == 0 {
+		return
+	}
+	now := c.clock.Now()
+	if g.resyncAt != 0 && now-g.resyncAt < 10*time.Second {
+		return
+	}
+	g.resyncAt = now
+	req := wire.Encode(&wire.ResyncRequest{From: c.ep.LocalIP()})
+	_ = c.ep.Unicast(transport.PortReport, g.src, req)
+}
+
+// requestResync multicasts a ResyncRequest, re-sending `times` times.
+func (c *Central) requestResync(times int) {
+	if !c.active || c.ep == nil || times <= 0 {
+		return
+	}
+	req := wire.Encode(&wire.ResyncRequest{From: c.ep.LocalIP()})
+	_ = c.ep.Multicast(transport.PortReport,
+		transport.Addr{IP: transport.BeaconGroup, Port: transport.PortReport}, req)
+	c.clock.AfterFunc(time.Second, func() { c.requestResync(times - 1) })
+}
+
+// Deactivate implements core.CentralHook.
+func (c *Central) Deactivate() {
+	c.active = false
+	if c.sweepTimer != nil {
+		c.sweepTimer.Stop()
+		c.sweepTimer = nil
+	}
+}
+
+// sweepTick runs the time-based housekeeping (limbo deadlines, stale
+// expected moves) even when no reports are flowing.
+func (c *Central) sweepTick() {
+	c.sweepTimer = nil
+	if !c.active {
+		return
+	}
+	c.sweepExpectedMoves()
+	c.sweepLimbo()
+	c.sweepTimer = c.clock.AfterFunc(5*time.Second, c.sweepTick)
+}
+
+// sweepLimbo declares failed any adapter displaced by a lineage break
+// that never resurfaced in a group.
+func (c *Central) sweepLimbo() {
+	now := c.clock.Now()
+	for ip, deadline := range c.limbo {
+		if now <= deadline {
+			continue
+		}
+		delete(c.limbo, ip)
+		info := c.adapters[ip]
+		if info == nil || !info.alive {
+			continue
+		}
+		info.alive = false
+		info.diedAt = now
+		c.publish(event.Event{Kind: event.AdapterFailed, Adapter: ip,
+			Node: info.member.Node, Detail: "unaccounted after group dissolution"})
+		c.correlateNode(info.member.Node)
+		c.correlateSwitch(ip)
+	}
+}
+
+// Active reports whether this instance currently is GulfStream Central.
+func (c *Central) Active() bool { return c.active }
+
+func (c *Central) publish(e event.Event) {
+	e.Time = c.clock.Now()
+	c.bus.Publish(e)
+}
+
+func (c *Central) touch() {
+	c.lastChange = c.clock.Now()
+	c.everChanged = true
+}
+
+// Stable reports whether a nonempty view has been quiet for Tgsc.
+func (c *Central) Stable() bool {
+	return c.everChanged && len(c.groups) > 0 &&
+		c.clock.Now()-c.lastChange >= c.cfg.StabilizeWait
+}
+
+// StableAt returns the instant stability was (or will be) reached given
+// no further changes: lastChange + Tgsc.
+func (c *Central) StableAt() time.Duration { return c.lastChange + c.cfg.StabilizeWait }
+
+// Groups snapshots the discovered topology: leader -> member addresses.
+func (c *Central) Groups() map[transport.IP][]transport.IP {
+	out := make(map[transport.IP][]transport.IP, len(c.groups))
+	for l, g := range c.groups {
+		for ip := range g.members {
+			out[l] = append(out[l], ip)
+		}
+	}
+	for _, ips := range out {
+		sortIPs(ips)
+	}
+	return out
+}
+
+// GroupCount returns how many AMGs Central currently tracks.
+func (c *Central) GroupCount() int { return len(c.groups) }
+
+// AdapterAlive reports the last known liveness of an adapter.
+func (c *Central) AdapterAlive(ip transport.IP) (alive, known bool) {
+	a, ok := c.adapters[ip]
+	if !ok {
+		return false, false
+	}
+	return a.alive, true
+}
+
+// NodeAlive reports node-level correlated state.
+func (c *Central) NodeAlive(node string) bool { return !c.nodeDead[node] }
+
+func sortIPs(ips []transport.IP) {
+	for i := 1; i < len(ips); i++ {
+		for j := i; j > 0 && ips[j-1] > ips[j]; j-- {
+			ips[j-1], ips[j] = ips[j], ips[j-1]
+		}
+	}
+}
+
+// HandleReport implements core.CentralHook: apply one membership report
+// and acknowledge it.
+func (c *Central) HandleReport(src transport.Addr, r *wire.Report) {
+	if !c.active {
+		return
+	}
+	defer c.ack(src, r.Seq)
+	if last, ok := c.lastSeq[src.IP]; ok && r.Seq <= last {
+		return // duplicate of an already-applied report
+	}
+	c.lastSeq[src.IP] = r.Seq
+	if c.OnReport != nil {
+		c.OnReport(src, r)
+	}
+	defer func() {
+		if g := c.groups[r.Leader]; g != nil {
+			g.src = src
+		}
+	}()
+	if r.Full {
+		c.applyFull(r)
+	} else {
+		if c.groups[r.Leader] == nil {
+			// A delta without a baseline: we are missing state for this
+			// group. Apply what we can and ask the reporter for a full.
+			defer func() {
+				req := wire.Encode(&wire.ResyncRequest{From: c.ep.LocalIP()})
+				_ = c.ep.Unicast(transport.PortReport, src, req)
+			}()
+		}
+		c.applyDelta(r)
+	}
+	c.sweepExpectedMoves()
+}
+
+func (c *Central) ack(src transport.Addr, seq uint64) {
+	if c.ep == nil {
+		return
+	}
+	ack := &wire.ReportAck{From: c.ep.LocalIP(), Seq: seq}
+	_ = c.ep.Unicast(transport.PortReport, src, wire.Encode(ack))
+}
+
+func (c *Central) applyFull(r *wire.Report) {
+	// A takeover report names the group (leader + version) it supersedes:
+	// the successor won leadership after verifying the old leader's death.
+	// Old-group members absent from the new membership departed (typically
+	// just the dead leader); the group is rekeyed under the new leader.
+	// The version guard skips the inference when the old leader's address
+	// now keys an unrelated, newer lineage (it moved and re-formed).
+	if r.PrevLeader != 0 && r.PrevLeader != r.Leader {
+		if og := c.groups[r.PrevLeader]; og != nil && og.version <= r.PrevVersion {
+			inNew := make(map[transport.IP]bool, len(r.Members))
+			for _, m := range r.Members {
+				inNew[m.IP] = true
+			}
+			for ip, m := range og.members {
+				if !inNew[ip] {
+					c.memberLeft(r.PrevLeader, m)
+				}
+			}
+			delete(c.groups, r.PrevLeader)
+			c.publish(event.Event{Kind: event.LeaderChanged, Group: r.Leader,
+				Detail: fmt.Sprintf("took over from %v", r.PrevLeader)})
+		}
+	}
+	// A Fresh report is a lineage break: the sender reformed after total
+	// isolation and knows nothing about its previous group. Displace the
+	// old same-key group's members into limbo — alive, but expected to
+	// resurface somewhere within the move window.
+	if r.Fresh {
+		if og := c.groups[r.Leader]; og != nil {
+			for ip := range og.members {
+				if ip != r.Leader {
+					c.limbo[ip] = c.clock.Now() + c.cfg.MoveWindow
+				}
+			}
+			delete(c.groups, r.Leader)
+		}
+	}
+	g := c.groups[r.Leader]
+	fresh := g == nil
+	if fresh {
+		g = &group{leader: r.Leader, members: make(map[transport.IP]wire.Member)}
+		c.groups[r.Leader] = g
+	}
+	if !fresh && r.Version < g.version {
+		return // stale full report
+	}
+	oldMembers := g.members
+	g.members = make(map[transport.IP]wire.Member, len(r.Members))
+	g.version = r.Version
+	for _, m := range r.Members {
+		g.members[m.IP] = m
+	}
+	if fresh {
+		c.publish(event.Event{Kind: event.GroupFormed, Group: r.Leader,
+			Detail: fmt.Sprintf("%d members", len(r.Members))})
+	}
+	changed := fresh
+	// Joins: present now, absent before.
+	for _, m := range r.Members {
+		if _, had := oldMembers[m.IP]; !had {
+			c.memberJoined(r.Leader, m, fresh)
+			changed = true
+		}
+	}
+	// Departures: present before, absent now.
+	for ip, m := range oldMembers {
+		if _, still := g.members[ip]; !still {
+			c.memberLeft(r.Leader, m)
+			changed = true
+		}
+	}
+	if changed {
+		// Resync-triggered no-op fulls must not reset the stability clock.
+		c.touch()
+	}
+}
+
+func (c *Central) applyDelta(r *wire.Report) {
+	g := c.groups[r.Leader]
+	if g == nil {
+		// Delta without a baseline (lost state); synthesize the group so
+		// we at least track these members — the next full report heals.
+		g = &group{leader: r.Leader, members: make(map[transport.IP]wire.Member)}
+		c.groups[r.Leader] = g
+		c.publish(event.Event{Kind: event.GroupFormed, Group: r.Leader, Detail: "from delta"})
+	}
+	g.version = r.Version
+	changed := false
+	for _, m := range r.Members {
+		if _, had := g.members[m.IP]; !had {
+			g.members[m.IP] = m
+			c.memberJoined(r.Leader, m, false)
+			changed = true
+		}
+	}
+	for _, ip := range r.Left {
+		if m, had := g.members[ip]; had {
+			delete(g.members, ip)
+			c.memberLeft(r.Leader, m)
+			changed = true
+		}
+	}
+	if changed {
+		c.touch()
+		c.publish(event.Event{Kind: event.GroupChanged, Group: r.Leader,
+			Detail: fmt.Sprintf("v%d, %d members", r.Version, len(g.members))})
+	}
+	if len(g.members) == 0 {
+		delete(c.groups, r.Leader)
+	}
+}
+
+// memberJoined integrates one adapter into the view.
+func (c *Central) memberJoined(leader transport.IP, m wire.Member, initial bool) {
+	delete(c.limbo, m.IP) // surfaced somewhere; no longer unaccounted
+	// An adapter lives in exactly one group: a join here is an implicit
+	// departure from any other group (that is how merges appear). The old
+	// group's leader may not know it lost the member (an orphan reforms
+	// without its leader dropping it), in which case our record and the
+	// leader's reported state have silently diverged — ask that group for
+	// a full resync so later changes reconcile.
+	for l, og := range c.groups {
+		if l != leader {
+			if _, in := og.members[m.IP]; in {
+				delete(og.members, m.IP)
+				if len(og.members) == 0 {
+					delete(c.groups, l)
+				} else {
+					c.requestGroupResync(og)
+				}
+			}
+		}
+	}
+	if m.Node != "" {
+		set := c.nodesSeen[m.Node]
+		if set == nil {
+			set = make(map[transport.IP]bool)
+			c.nodesSeen[m.Node] = set
+		}
+		set[m.IP] = true
+	}
+	prev := c.adapters[m.IP]
+	wasDead := prev != nil && !prev.alive
+	movedGroup := prev != nil && prev.group != leader
+	diedAt := time.Duration(0)
+	if prev != nil {
+		diedAt = prev.diedAt
+	}
+	c.adapters[m.IP] = &adapterInfo{member: m, alive: true, group: leader}
+
+	deadline, expected := c.expectedMoves[m.IP]
+	switch {
+	case expected && movedGroup && c.clock.Now() <= deadline:
+		// A Central-initiated move completed. The adapter may have been
+		// reported dead in between (ordinary member move) or regrouped
+		// silently (it led its old group and reformed); either way the
+		// expectation is satisfied.
+		delete(c.expectedMoves, m.IP)
+		c.publish(event.Event{Kind: event.NodeMoved, Adapter: m.IP, Node: m.Node,
+			Group: leader, Detail: "expected (central-initiated)"})
+	case wasDead && movedGroup && c.clock.Now()-diedAt <= c.cfg.MoveWindow:
+		// Death in one group + join in another inside the window: the
+		// adapter moved domains; only Central can see this (paper §3.1) —
+		// and nobody planned it.
+		c.publish(event.Event{Kind: event.NodeMoved, Adapter: m.IP, Node: m.Node,
+			Group: leader, Detail: "UNEXPECTED"})
+		c.publish(event.Event{Kind: event.VerifyMismatch, Adapter: m.IP, Node: m.Node,
+			Detail: "unplanned domain change"})
+	case wasDead:
+		c.publish(event.Event{Kind: event.AdapterRecovered, Adapter: m.IP, Node: m.Node, Group: leader})
+	case !initial && prev == nil:
+		c.publish(event.Event{Kind: event.AdapterJoined, Adapter: m.IP, Node: m.Node, Group: leader})
+	}
+	c.correlateNode(m.Node)
+	c.correlateSwitch(m.IP)
+}
+
+// memberLeft marks one adapter dead (or moving).
+func (c *Central) memberLeft(leader transport.IP, m wire.Member) {
+	info := c.adapters[m.IP]
+	if info == nil {
+		info = &adapterInfo{member: m}
+		c.adapters[m.IP] = info
+	}
+	if !info.alive {
+		return
+	}
+	if info.group != leader && info.group != 0 {
+		// Already accounted to a different group (it moved before this
+		// departure report arrived): cleanup, not a death.
+		return
+	}
+	info.alive = false
+	info.diedAt = c.clock.Now()
+	info.group = leader
+
+	_, expected := c.expectedMoves[m.IP]
+	c.publish(event.Event{Kind: event.AdapterFailed, Adapter: m.IP, Node: m.Node,
+		Group: leader, Suppressed: expected,
+		Detail: map[bool]string{true: "expected move in progress", false: ""}[expected]})
+	c.correlateNode(m.Node)
+	c.correlateSwitch(m.IP)
+}
+
+// correlateNode applies the paper's §3 inference: a node is down exactly
+// when all of its adapters are down.
+func (c *Central) correlateNode(node string) {
+	if node == "" {
+		return
+	}
+	known := c.knownNodeAdapters(node)
+	if len(known) == 0 {
+		return
+	}
+	allDead := true
+	for ip := range known {
+		if a, ok := c.adapters[ip]; !ok || a.alive {
+			allDead = false
+			break
+		}
+	}
+	switch {
+	case allDead && !c.nodeDead[node]:
+		c.nodeDead[node] = true
+		suppressed := true
+		for ip := range known {
+			if _, exp := c.expectedMoves[ip]; !exp {
+				suppressed = false
+			}
+		}
+		c.publish(event.Event{Kind: event.NodeFailed, Node: node, Suppressed: suppressed,
+			Detail: fmt.Sprintf("all %d adapters down", len(known))})
+	case !allDead && c.nodeDead[node]:
+		delete(c.nodeDead, node)
+		c.publish(event.Event{Kind: event.NodeRecovered, Node: node})
+	}
+}
+
+// knownNodeAdapters merges report-derived and database-derived adapter
+// sets for a node.
+func (c *Central) knownNodeAdapters(node string) map[transport.IP]bool {
+	out := make(map[transport.IP]bool)
+	for ip := range c.nodesSeen[node] {
+		out[ip] = true
+	}
+	if c.db != nil {
+		if spec, ok := c.db.Node(node); ok {
+			for _, ip := range spec.Adapters {
+				out[ip] = true
+			}
+		}
+	}
+	return out
+}
+
+// wiringOf resolves which switch carries an adapter and what else is
+// wired there, preferring SNMP-discovered wiring over the database
+// (paper §3: the prototype "relies on a configuration database to
+// identify how nodes are connected"; the stated future plan — querying
+// the switches directly — is DiscoverWiring).
+func (c *Central) wiringOf(ip transport.IP) (name string, wired []transport.IP, ok bool) {
+	if sw, found := c.snmpSwitchOf[ip]; found {
+		return sw, c.snmpWiring[sw], true
+	}
+	if c.db == nil {
+		return "", nil, false
+	}
+	spec, found := c.db.Adapter(ip)
+	if !found || spec.Switch == "" {
+		return "", nil, false
+	}
+	return spec.Switch, c.db.AdaptersOnSwitch(spec.Switch), true
+}
+
+// correlateSwitch applies the switch inference: a switch whose every
+// wired, known adapter is dead has itself failed.
+func (c *Central) correlateSwitch(ip transport.IP) {
+	name, wired, ok := c.wiringOf(ip)
+	if !ok || len(wired) == 0 {
+		return
+	}
+	allDead := true
+	anySeen := false
+	for _, w := range wired {
+		a, known := c.adapters[w]
+		if !known {
+			continue
+		}
+		anySeen = true
+		if a.alive {
+			allDead = false
+			break
+		}
+	}
+	if !anySeen {
+		return
+	}
+	switch {
+	case allDead && !c.switchDead[name]:
+		c.switchDead[name] = true
+		c.publish(event.Event{Kind: event.SwitchFailed, Node: name,
+			Detail: fmt.Sprintf("all %d wired adapters down", len(wired))})
+	case !allDead && c.switchDead[name]:
+		delete(c.switchDead, name)
+		c.publish(event.Event{Kind: event.SwitchRecovered, Node: name})
+	}
+}
+
+// sweepExpectedMoves drops moves that never completed.
+func (c *Central) sweepExpectedMoves() {
+	now := c.clock.Now()
+	for ip, deadline := range c.expectedMoves {
+		if now > deadline {
+			delete(c.expectedMoves, ip)
+			c.publish(event.Event{Kind: event.VerifyMismatch, Adapter: ip,
+				Detail: "planned move never completed"})
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package configdb
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func ip(d byte) transport.IP { return transport.MakeIP(10, 0, 0, d) }
+
+func sampleDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.AddNode("web-01", "domain-a", "frontend")
+	db.AddNode("web-02", "domain-a", "backend")
+	specs := []AdapterSpec{
+		{IP: ip(1), Node: "web-01", Index: 0, VLAN: 1, Switch: "sw0", Port: 1},
+		{IP: ip(2), Node: "web-01", Index: 1, VLAN: 100, Switch: "sw0", Port: 2},
+		{IP: ip(3), Node: "web-02", Index: 0, VLAN: 1, Switch: "sw1", Port: 1},
+		{IP: ip(4), Node: "web-02", Index: 1, VLAN: 100, Switch: "sw1", Port: 2},
+	}
+	for _, s := range specs {
+		if err := db.AddAdapter(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestBasicLookups(t *testing.T) {
+	db := sampleDB(t)
+	a, ok := db.Adapter(ip(2))
+	if !ok || a.Node != "web-01" || a.VLAN != 100 {
+		t.Fatalf("Adapter(2) = %+v %v", a, ok)
+	}
+	if _, ok := db.Adapter(ip(99)); ok {
+		t.Fatal("phantom adapter")
+	}
+	n, ok := db.Node("web-01")
+	if !ok || n.Domain != "domain-a" || len(n.Adapters) != 2 {
+		t.Fatalf("Node = %+v", n)
+	}
+	if got := db.AdaptersOnSwitch("sw1"); len(got) != 2 || got[0] != ip(3) {
+		t.Fatalf("AdaptersOnSwitch = %v", got)
+	}
+	if sw := db.Switches(); len(sw) != 2 || sw[0] != "sw0" || sw[1] != "sw1" {
+		t.Fatalf("Switches = %v", sw)
+	}
+	if len(db.Adapters()) != 4 || len(db.Nodes()) != 2 {
+		t.Fatal("listing sizes wrong")
+	}
+}
+
+func TestDuplicateAdapterRejected(t *testing.T) {
+	db := sampleDB(t)
+	err := db.AddAdapter(AdapterSpec{IP: ip(1), Node: "other"})
+	if err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestMutators(t *testing.T) {
+	db := sampleDB(t)
+	if err := db.SetExpectedVLAN(ip(2), 200); err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := db.Adapter(ip(2)); a.VLAN != 200 {
+		t.Fatal("SetExpectedVLAN did not stick")
+	}
+	if err := db.SetExpectedVLAN(ip(99), 1); err == nil {
+		t.Fatal("unknown adapter accepted")
+	}
+	if err := db.SetNodeDomain("web-01", "domain-b"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Node("web-01"); n.Domain != "domain-b" {
+		t.Fatal("SetNodeDomain did not stick")
+	}
+	if err := db.SetNodeDomain("ghost", "x"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := sampleDB(t)
+	path := filepath.Join(t.TempDir(), "farm.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Adapters()) != 4 || len(got.Nodes()) != 2 {
+		t.Fatalf("loaded %d adapters %d nodes", len(got.Adapters()), len(got.Nodes()))
+	}
+	a, ok := got.Adapter(ip(4))
+	if !ok || a.Switch != "sw1" || a.Port != 2 || a.VLAN != 100 {
+		t.Fatalf("loaded adapter = %+v", a)
+	}
+	n, _ := got.Node("web-02")
+	if n.Domain != "domain-a" || n.Role != "backend" {
+		t.Fatalf("loaded node = %+v", n)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestVerifyCleanTopology(t *testing.T) {
+	db := sampleDB(t)
+	groups := map[transport.IP][]transport.IP{
+		ip(3): {ip(3), ip(1)}, // admin VLAN 1
+		ip(4): {ip(4), ip(2)}, // domain VLAN 100
+	}
+	if ms := db.Verify(groups); len(ms) != 0 {
+		t.Fatalf("clean topology produced mismatches: %v", ms)
+	}
+}
+
+func TestVerifyUnknownAdapter(t *testing.T) {
+	db := sampleDB(t)
+	groups := map[transport.IP][]transport.IP{
+		ip(3): {ip(3), ip(1), ip(77)},
+		ip(4): {ip(4), ip(2)},
+	}
+	ms := db.Verify(groups)
+	if len(ms) != 1 || ms[0].Kind != UnknownAdapter || ms[0].Adapter != ip(77) {
+		t.Fatalf("mismatches = %v", ms)
+	}
+}
+
+func TestVerifyMissingAdapter(t *testing.T) {
+	db := sampleDB(t)
+	groups := map[transport.IP][]transport.IP{
+		ip(3): {ip(3), ip(1)},
+		ip(4): {ip(4)}, // ip(2) vanished
+	}
+	ms := db.Verify(groups)
+	if len(ms) != 1 || ms[0].Kind != MissingAdapter || ms[0].Adapter != ip(2) {
+		t.Fatalf("mismatches = %v", ms)
+	}
+}
+
+func TestVerifyWrongSegment(t *testing.T) {
+	db := sampleDB(t)
+	// ip(2) (expects VLAN 100) shows up in the admin group — exactly the
+	// security violation the paper disables adapters over.
+	groups := map[transport.IP][]transport.IP{
+		ip(3): {ip(3), ip(1), ip(2)},
+		ip(4): {ip(4)},
+	}
+	ms := db.Verify(groups)
+	var wrong []Mismatch
+	for _, m := range ms {
+		if m.Kind == WrongSegment {
+			wrong = append(wrong, m)
+		}
+	}
+	if len(wrong) != 1 || wrong[0].Adapter != ip(2) || wrong[0].VLAN != 100 {
+		t.Fatalf("wrong-segment findings = %v (all: %v)", wrong, ms)
+	}
+}
+
+func TestVerifySplitVLAN(t *testing.T) {
+	db := sampleDB(t)
+	groups := map[transport.IP][]transport.IP{
+		ip(2): {ip(2)}, // VLAN 100 split into two groups
+		ip(4): {ip(4)},
+		ip(3): {ip(3), ip(1)},
+	}
+	ms := db.Verify(groups)
+	var split []Mismatch
+	for _, m := range ms {
+		if m.Kind == SplitVLAN {
+			split = append(split, m)
+		}
+	}
+	if len(split) != 1 || split[0].VLAN != 100 {
+		t.Fatalf("split findings = %v (all: %v)", split, ms)
+	}
+}
+
+func TestVerifyDeterministicOrder(t *testing.T) {
+	db := sampleDB(t)
+	groups := map[transport.IP][]transport.IP{
+		ip(3): {ip(3), ip(77), ip(88)},
+	}
+	a := db.Verify(groups)
+	b := db.Verify(groups)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic verify")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMismatchString(t *testing.T) {
+	m := Mismatch{Kind: WrongSegment, Adapter: ip(2), VLAN: 100, Detail: "x"}
+	s := m.String()
+	if s == "" || s == "wrong-segment" {
+		t.Fatalf("String = %q", s)
+	}
+	for _, k := range []MismatchKind{UnknownAdapter, MissingAdapter, WrongSegment, SplitVLAN} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package configdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/transport"
+)
+
+// randomDB builds a database with n nodes of 1-3 adapters each.
+func randomDB(rng *rand.Rand, n int) *DB {
+	db := New()
+	ordinal := 0
+	for i := 0; i < n; i++ {
+		node := fmt.Sprintf("node-%03d", i)
+		db.AddNode(node, fmt.Sprintf("dom-%d", i%3), "role")
+		adapters := rng.Intn(3) + 1
+		for a := 0; a < adapters; a++ {
+			ordinal++
+			_ = db.AddAdapter(AdapterSpec{
+				IP:     transport.MakeIP(10, byte(a+1), byte(ordinal/200), byte(ordinal%200+1)),
+				Node:   node,
+				Index:  a,
+				VLAN:   100 + a,
+				Switch: fmt.Sprintf("sw-%d", i%4),
+				Port:   ordinal,
+			})
+		}
+	}
+	return db
+}
+
+// Property: JSON round-trips preserve every adapter and node record.
+func TestPropertyJSONRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, int(nRaw%20)+1)
+		data, err := json.Marshal(db)
+		if err != nil {
+			return false
+		}
+		back := New()
+		if err := json.Unmarshal(data, back); err != nil {
+			return false
+		}
+		as, bs := db.Adapters(), back.Adapters()
+		if len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if as[i] != bs[i] {
+				return false
+			}
+		}
+		an, bn := db.Nodes(), back.Nodes()
+		if len(an) != len(bn) {
+			return false
+		}
+		for i := range an {
+			if an[i].Name != bn[i].Name || an[i].Domain != bn[i].Domain || an[i].Role != bn[i].Role {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a discovered grouping that exactly matches expectations (one
+// group per expected VLAN) verifies clean; removing one adapter from it
+// yields exactly one missing-adapter finding.
+func TestPropertyVerifyExactGrouping(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, int(nRaw%15)+2)
+		groups := map[transport.IP][]transport.IP{}
+		byVLAN := map[int][]transport.IP{}
+		for _, a := range db.Adapters() {
+			byVLAN[a.VLAN] = append(byVLAN[a.VLAN], a.IP)
+		}
+		for _, ips := range byVLAN {
+			leader := ips[0]
+			for _, ip := range ips {
+				if ip > leader {
+					leader = ip
+				}
+			}
+			groups[leader] = ips
+		}
+		if ms := db.Verify(groups); len(ms) != 0 {
+			return false
+		}
+		// Drop one adapter from its group.
+		all := db.Adapters()
+		victim := all[rng.Intn(len(all))]
+		for leader, ips := range groups {
+			var keep []transport.IP
+			for _, ip := range ips {
+				if ip != victim.IP {
+					keep = append(keep, ip)
+				}
+			}
+			if len(keep) == 0 {
+				delete(groups, leader)
+			} else {
+				groups[leader] = keep
+			}
+		}
+		ms := db.Verify(groups)
+		missing := 0
+		for _, m := range ms {
+			if m.Kind == MissingAdapter && m.Adapter == victim.IP {
+				missing++
+			} else if m.Kind == MissingAdapter {
+				return false
+			}
+		}
+		return missing == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

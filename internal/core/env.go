@@ -1,0 +1,33 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// detectorEnv adapts an adapterProto to detect.Env.
+type detectorEnv adapterProto
+
+func (e *detectorEnv) p() *adapterProto { return (*adapterProto)(e) }
+
+// Self implements detect.Env.
+func (e *detectorEnv) Self() transport.IP { return e.p().self }
+
+// Clock implements detect.Env.
+func (e *detectorEnv) Clock() transport.Clock { return e.p().d.clock }
+
+// Rand implements detect.Env.
+func (e *detectorEnv) Rand() *rand.Rand { return e.p().d.rng }
+
+// Send implements detect.Env: all detector traffic rides the heartbeat
+// plane.
+func (e *detectorEnv) Send(dst transport.IP, m wire.Message) {
+	e.p().sendHeartbeatPlane(dst, m)
+}
+
+// ReportSuspect implements detect.Env.
+func (e *detectorEnv) ReportSuspect(suspect transport.IP, reason wire.SuspectReason) {
+	e.p().reportSuspect(suspect, reason)
+}

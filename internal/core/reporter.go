@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// segmentHint labels reports with the adapter's index class ("idx-0" is
+// the administrative plane by convention). Central treats it as advisory.
+func (p *adapterProto) segmentHint() string { return fmt.Sprintf("idx-%d", p.index) }
+
+// reporter ships membership reports from this daemon's AMG leaders to
+// GulfStream Central over the administrative adapter, one at a time, with
+// acknowledgement and retransmission. In the steady state it is silent —
+// the paper's "no network resources are used for group membership
+// information" property.
+type reporter struct {
+	d        *Daemon
+	queue    []*wire.Report
+	inflight *wire.Report
+	timer    transport.Timer
+	nextSeq  uint64
+}
+
+func newReporter(d *Daemon) *reporter { return &reporter{d: d, nextSeq: 1} }
+
+func (r *reporter) reset() {
+	r.queue = nil
+	r.inflight = nil
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
+}
+
+// enqueue assigns a sequence number and queues the report for delivery.
+func (r *reporter) enqueue(rep *wire.Report) {
+	rep.Seq = r.nextSeq
+	r.nextSeq++
+	r.queue = append(r.queue, rep)
+	r.kick()
+}
+
+// centralChanged reacts to a change of the administrative AMG leader: any
+// report addressed to the old Central is junk, and every group this daemon
+// leads owes the new Central a fresh full report (after the usual quiet
+// wait).
+func (r *reporter) centralChanged() {
+	r.reset()
+	for _, p := range r.d.adapters {
+		if p.state == stLeader && p.lead != nil {
+			p.lead.reportedValid = false
+			p.lead.resetStableTimer()
+		}
+	}
+}
+
+func (r *reporter) kick() {
+	if r.inflight != nil || len(r.queue) == 0 {
+		return
+	}
+	r.inflight = r.queue[0]
+	r.queue = r.queue[1:]
+	r.transmit()
+}
+
+func (r *reporter) transmit() {
+	if r.inflight == nil {
+		return
+	}
+	dst := r.d.centralIP
+	if dst != 0 && r.d.running {
+		admin := r.d.admin()
+		_ = admin.ep.Unicast(transport.PortReport,
+			transport.Addr{IP: dst, Port: transport.PortReport}, wire.Encode(r.inflight))
+	}
+	// Retry until acked (or Central moves / daemon dies).
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	r.timer = r.d.clock.AfterFunc(r.d.cfg.ReportRetry, r.transmit)
+}
+
+func (r *reporter) onAck(seq uint64) {
+	if r.inflight == nil || r.inflight.Seq != seq {
+		return
+	}
+	r.inflight = nil
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
+	r.kick()
+}
+
+// dropLeader discards queued and retransmitting reports for a group this
+// daemon no longer leads. A demoted leader's stale report, delivered (or
+// retransmitted) after the absorbing group's join delta, would otherwise
+// make Central undo the join — reports about a dead lineage must stop at
+// the source the moment the lineage dies.
+func (r *reporter) dropLeader(ip transport.IP) {
+	keep := r.queue[:0]
+	for _, rep := range r.queue {
+		if rep.Leader != ip {
+			keep = append(keep, rep)
+		}
+	}
+	r.queue = keep
+	if r.inflight != nil && r.inflight.Leader == ip {
+		r.inflight = nil
+		if r.timer != nil {
+			r.timer.Stop()
+			r.timer = nil
+		}
+		r.kick()
+	}
+}

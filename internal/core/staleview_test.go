@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/amg"
+	"repro/internal/wire"
+)
+
+// The interlocked-stale-view wedge: after overlapping merges a member can
+// hold a *different group's* view with the SAME version number, whose
+// ring neighbors coincide with its real ones — heartbeats flow both ways
+// and no suspicion ever fires. Only the group-identity (leader) carried
+// in heartbeats exposes it. This test forges the wedge directly and
+// checks the gossip + refresh machinery heals it.
+func TestInterlockedStaleViewHeals(t *testing.T) {
+	h := newHarness(t, 61)
+	cfg := fastConfig()
+	ips := h.singleSegment(cfg, 6)
+	h.run(8 * time.Second)
+	h.assertOneGroup(ips)
+	real := h.viewOf(ips[0]) // led by 10.0.0.6, version 1
+
+	// Forge: member 10.0.0.3 believes a parallel lineage led by 10.0.0.5
+	// with the SAME version number, containing {5,4,3,2,1}. Its ring
+	// neighbors there (4 and 2) equal its neighbors in the real 6-member
+	// ring, so pure liveness monitoring can never notice.
+	var victim *adapterProto
+	for _, d := range h.daemons {
+		if p, ok := d.byIP[ipn(0, 3)]; ok {
+			victim = p
+		}
+	}
+	var staleMembers []wire.Member
+	for _, m := range real.Members {
+		if m.IP != ipn(0, 6) {
+			staleMembers = append(staleMembers, m)
+		}
+	}
+	stale := amg.New(real.Version, staleMembers)
+	stale.Version = real.Version
+	sl, sr := stale.Neighbors(victim.self)
+	rl, rr := real.Neighbors(victim.self)
+	if sl != rl || sr != rr {
+		t.Fatalf("fixture is not an interlock: stale neighbors %v/%v vs real %v/%v", sl, sr, rl, rr)
+	}
+	victim.view = stale
+	victim.detector.Reconfigure(stale)
+
+	// Heal: groupmates see its heartbeats claim leader 10.0.0.5, report
+	// stale-view to 10.0.0.6, which refreshes the victim.
+	h.run(10 * time.Second)
+	got := h.viewOf(ipn(0, 3))
+	if !got.Equal(h.viewOf(ips[0])) {
+		t.Fatalf("stale member not healed: %v vs %v", got, h.viewOf(ips[0]))
+	}
+	h.assertOneGroup(ips)
+}
+
+// A stale-view report about a non-member triggers eviction, not refresh.
+func TestStaleViewReportAboutStranger(t *testing.T) {
+	h := newHarness(t, 62)
+	cfg := fastConfig()
+	ips := h.singleSegment(cfg, 4)
+	h.run(8 * time.Second)
+	leaderIP := h.viewOf(ips[0]).Leader()
+	var leader *adapterProto
+	for _, d := range h.daemons {
+		if p, ok := d.byIP[leaderIP]; ok {
+			leader = p
+		}
+	}
+	// Forge a stale-view report about an address outside the group.
+	stranger := ipn(0, 77)
+	leader.lead.onSuspicion(&wire.Suspect{
+		Reporter: ipn(0, 1), Suspect: stranger,
+		Version: leader.view.Version, Reason: wire.ReasonStaleView,
+	})
+	// Nothing to assert beyond "no panic, no membership damage".
+	h.run(5 * time.Second)
+	h.assertOneGroup(ips)
+}

@@ -1,0 +1,152 @@
+// Package event defines the typed notifications GulfStream publishes —
+// adapter/node/switch failures and recoveries, group changes, moves, and
+// verification findings — plus a small synchronous bus. GulfStream Central
+// is "the authority on the status of all network components" (paper §2.2);
+// these events are the form that authority takes.
+package event
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	// AdapterFailed: an AMG declared a member dead.
+	AdapterFailed Kind = iota + 1
+	// AdapterRecovered: a previously-dead adapter rejoined a group.
+	AdapterRecovered
+	// AdapterJoined: an adapter joined a group for the first time.
+	AdapterJoined
+	// NodeFailed: every adapter of the node is dead (correlation).
+	NodeFailed
+	// NodeRecovered: some adapter of a dead node came back.
+	NodeRecovered
+	// SwitchFailed: every adapter wired to the switch is dead (correlation).
+	SwitchFailed
+	// SwitchRecovered: some adapter on a dead switch came back.
+	SwitchRecovered
+	// NodeMoved: leave+join correlation across groups — the adapter moved
+	// domains (VLAN reconfiguration), it did not fail.
+	NodeMoved
+	// GroupFormed: a new AMG committed.
+	GroupFormed
+	// GroupChanged: an existing AMG recommitted with different membership.
+	GroupChanged
+	// LeaderChanged: an AMG elected a new leader.
+	LeaderChanged
+	// CentralElected: a node became GulfStream Central.
+	CentralElected
+	// VerifyMismatch: discovered topology disagrees with the configuration
+	// database.
+	VerifyMismatch
+	// AdapterDisabled: Central disabled an adapter over a verification
+	// conflict.
+	AdapterDisabled
+)
+
+var kindNames = map[Kind]string{
+	AdapterFailed:    "adapter-failed",
+	AdapterRecovered: "adapter-recovered",
+	AdapterJoined:    "adapter-joined",
+	NodeFailed:       "node-failed",
+	NodeRecovered:    "node-recovered",
+	SwitchFailed:     "switch-failed",
+	SwitchRecovered:  "switch-recovered",
+	NodeMoved:        "node-moved",
+	GroupFormed:      "group-formed",
+	GroupChanged:     "group-changed",
+	LeaderChanged:    "leader-changed",
+	CentralElected:   "central-elected",
+	VerifyMismatch:   "verify-mismatch",
+	AdapterDisabled:  "adapter-disabled",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one published notification.
+type Event struct {
+	Time    time.Duration // virtual (or process) time of publication
+	Kind    Kind
+	Adapter transport.IP // subject adapter, when applicable
+	Node    string       // subject node / switch name, when applicable
+	Group   transport.IP // AMG leader identifying the group, when applicable
+	Detail  string
+	// Suppressed marks notifications Central withheld from external
+	// subscribers because the change was expected (a Central-initiated
+	// domain move). They remain visible for audit.
+	Suppressed bool
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("[%v] %v", e.Time, e.Kind)
+	if e.Adapter != 0 {
+		s += " adapter=" + e.Adapter.String()
+	}
+	if e.Node != "" {
+		s += " node=" + e.Node
+	}
+	if e.Group != 0 {
+		s += " group=" + e.Group.String()
+	}
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	if e.Suppressed {
+		s += " [suppressed]"
+	}
+	return s
+}
+
+// Bus is a synchronous publish/subscribe fan-out. Subscribers run inline
+// on Publish, in subscription order — under simulation that keeps event
+// handling inside the deterministic event loop.
+type Bus struct {
+	subs []func(Event)
+	log  []Event
+	keep bool
+}
+
+// NewBus returns a bus that also records every published event when
+// record is true (test and experiment harnesses read the log).
+func NewBus(record bool) *Bus { return &Bus{keep: record} }
+
+// Subscribe registers fn for all subsequent events.
+func (b *Bus) Subscribe(fn func(Event)) { b.subs = append(b.subs, fn) }
+
+// Publish delivers e to every subscriber.
+func (b *Bus) Publish(e Event) {
+	if b.keep {
+		b.log = append(b.log, e)
+	}
+	for _, fn := range b.subs {
+		fn(e)
+	}
+}
+
+// Log returns the recorded events (nil unless recording).
+func (b *Bus) Log() []Event { return b.log }
+
+// Filter returns recorded events of the given kind.
+func (b *Bus) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range b.log {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many recorded events have the given kind.
+func (b *Bus) Count(k Kind) int { return len(b.Filter(k)) }

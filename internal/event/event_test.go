@@ -1,0 +1,80 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestBusDeliversInOrder(t *testing.T) {
+	b := NewBus(false)
+	var got []Kind
+	b.Subscribe(func(e Event) { got = append(got, e.Kind) })
+	b.Subscribe(func(e Event) { got = append(got, e.Kind) })
+	b.Publish(Event{Kind: AdapterFailed})
+	b.Publish(Event{Kind: NodeFailed})
+	want := []Kind{AdapterFailed, AdapterFailed, NodeFailed, NodeFailed}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBusRecording(t *testing.T) {
+	b := NewBus(true)
+	b.Publish(Event{Kind: AdapterFailed})
+	b.Publish(Event{Kind: NodeMoved})
+	b.Publish(Event{Kind: AdapterFailed})
+	if len(b.Log()) != 3 {
+		t.Fatalf("log = %d", len(b.Log()))
+	}
+	if b.Count(AdapterFailed) != 2 || b.Count(NodeMoved) != 1 || b.Count(SwitchFailed) != 0 {
+		t.Fatal("Count wrong")
+	}
+	if len(b.Filter(NodeMoved)) != 1 {
+		t.Fatal("Filter wrong")
+	}
+	nb := NewBus(false)
+	nb.Publish(Event{Kind: NodeMoved})
+	if nb.Log() != nil {
+		t.Fatal("non-recording bus kept a log")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		Time:       3 * time.Second,
+		Kind:       NodeMoved,
+		Adapter:    transport.MakeIP(10, 0, 0, 5),
+		Node:       "web-05",
+		Group:      transport.MakeIP(10, 0, 0, 9),
+		Detail:     "vlan 100 -> 200",
+		Suppressed: true,
+	}
+	s := e.String()
+	for _, frag := range []string{"node-moved", "10.0.0.5", "web-05", "10.0.0.9", "vlan 100 -> 200", "[suppressed]"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestKindStringsDistinct(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := AdapterFailed; k <= AdapterDisabled; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind(%d) has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}

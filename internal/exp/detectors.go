@@ -1,0 +1,246 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/farm"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// DetectorOptions parameterizes the §3 trade-off experiment.
+type DetectorOptions struct {
+	Seed     int64
+	Adapters int
+	// LossRates to sweep.
+	LossRates []float64
+	// Schemes to compare.
+	Schemes []DetectorScheme
+	// Window is how long each run observes after the injected failure.
+	Window time.Duration
+	// Interval is the heartbeat period Th.
+	Interval time.Duration
+}
+
+// DetectorScheme is one detector configuration under test.
+type DetectorScheme struct {
+	Name      string
+	Kind      detect.Kind
+	Miss      int
+	Consensus bool
+}
+
+// DefaultDetectors reproduces the paper's discussion: the one-strike
+// unidirectional ring vs. higher sensitivity vs. the bidirectional ring
+// with two-neighbor consensus.
+func DefaultDetectors() DetectorOptions {
+	return DetectorOptions{
+		Seed:      21,
+		Adapters:  32,
+		LossRates: []float64{0, 0.05, 0.10, 0.20},
+		Schemes: []DetectorScheme{
+			{Name: "ring k=1 (one strike)", Kind: detect.Ring, Miss: 1},
+			{Name: "ring k=3", Kind: detect.Ring, Miss: 3},
+			{Name: "biring k=3 + consensus", Kind: detect.BiRing, Miss: 3, Consensus: true},
+			{Name: "randping", Kind: detect.RandPing, Miss: 3},
+		},
+		Window:   120 * time.Second,
+		Interval: 1 * time.Second,
+	}
+}
+
+// DetectorResult is one cell's measurement.
+type DetectorResult struct {
+	DetectionLatency time.Duration // kill -> leader-confirmed death
+	Detected         bool
+	FalseSuspicions  int // suspicions raised against healthy members
+	FalseKills       int // healthy members wrongly declared dead
+}
+
+// DetectorCell runs one (scheme, loss) experiment: a single-segment group
+// settles, one member is killed, and we observe the leader's verified
+// death declarations.
+func DetectorCell(o DetectorOptions, s DetectorScheme, loss float64, seed int64) (DetectorResult, error) {
+	cfg := core.DefaultConfig()
+	cfg.BeaconPhase = 3 * time.Second
+	cfg.Detector = s.Kind
+	cfg.Consensus = s.Consensus
+	cfg.DetectorParams.Interval = o.Interval
+	cfg.DetectorParams.MissThreshold = s.Miss
+	cfg.OrphanTimeout = 10 * o.Interval * time.Duration(s.Miss)
+	f, err := farm.Build(farm.Spec{
+		Seed:            seed,
+		UniformNodes:    o.Adapters,
+		UniformAdapters: 1,
+		Loss:            loss,
+		Core:            cfg,
+	})
+	if err != nil {
+		return DetectorResult{}, err
+	}
+	var res DetectorResult
+	var victim transport.IP
+	var killedAt time.Duration
+	for _, d := range f.Daemons {
+		d.SetHooks(core.Hooks{
+			// Detection = the group recommits without the victim (whether
+			// the removal came from a verified death or a 2PC exclusion).
+			Commit: func(_ transport.IP, view coreView) {
+				if victim == 0 || res.Detected {
+					return
+				}
+				if view.Size() >= 2 && !view.Contains(victim) {
+					res.Detected = true
+					res.DetectionLatency = f.Sched.Now() - killedAt
+				}
+			},
+			Death: func(_, dead transport.IP) {
+				if victim != 0 && dead != victim {
+					res.FalseKills++
+				}
+			},
+			Suspicion: func(_, suspect transport.IP, _ wire.SuspectReason) {
+				if victim != 0 && suspect != victim {
+					res.FalseSuspicions++
+				}
+			},
+		})
+	}
+	f.Start()
+	f.RunFor(cfg.BeaconPhase + 10*time.Second) // settle
+	victimNode := fmt.Sprintf("node-%03d", o.Adapters/2)
+	victim = f.Nodes[victimNode].Adapters[0]
+	// Under loss the victim may have been falsely removed during settling
+	// (and be busy rejoining); only a settled member makes a meaningful
+	// detection measurement. "Settled" must hold from both sides: the
+	// victim's own view AND an independent witness's view (the victim may
+	// hold a stale view of a group that already dropped it).
+	witnessNode := "node-000"
+	witness := f.Nodes[witnessNode].Adapters[0]
+	settled := func() bool {
+		v, ok := f.Daemons[victimNode].View(victim)
+		if !ok || v.Size() < o.Adapters/2 || !v.Contains(victim) {
+			return false
+		}
+		w, ok := f.Daemons[witnessNode].View(witness)
+		return ok && w.Contains(victim) && w.Equal(v)
+	}
+	for waited := time.Duration(0); !settled(); waited += time.Second {
+		if waited > 2*time.Minute {
+			return res, fmt.Errorf("exp: victim never settled into the group")
+		}
+		f.RunFor(time.Second)
+	}
+	killedAt = f.Sched.Now()
+	if err := f.KillNode(victimNode); err != nil {
+		return res, err
+	}
+	f.RunFor(o.Window)
+	return res, nil
+}
+
+// Detectors reproduces the §3 trade-off table: detection latency and
+// false-kill counts per scheme and loss rate.
+func Detectors(o DetectorOptions) (*Table, error) {
+	t := &Table{
+		ID:      "E4/detector",
+		Title:   fmt.Sprintf("failure-detector trade-off (one AMG of %d adapters, Th=%v, one injected failure)", o.Adapters, o.Interval),
+		Columns: []string{"scheme", "loss", "detect latency(s)", "false suspicions", "false kills"},
+	}
+	for _, s := range o.Schemes {
+		for _, loss := range o.LossRates {
+			r, err := DetectorCell(o, s, loss, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			lat := "undetected"
+			if r.Detected {
+				lat = secs2(r.DetectionLatency)
+			}
+			t.AddRow(s.Name, fmt.Sprintf("%.0f%%", loss*100), lat,
+				fmt.Sprintf("%d", r.FalseSuspicions), fmt.Sprintf("%d", r.FalseKills))
+		}
+	}
+	t.Note("paper §3: 'one strike and you're out' is overly sensitive to congestion loss;")
+	t.Note("higher sensitivity k and the two-neighbor consensus cut false reports, and the leader's")
+	t.Note("verification probe keeps false *kills* near zero in all schemes")
+	return t, nil
+}
+
+// HBLoadOptions parameterizes the §4.2 heartbeat-load experiment.
+type HBLoadOptions struct {
+	Seed       int64
+	GroupSizes []int
+	Kinds      []detect.Kind
+	Interval   time.Duration
+	Window     time.Duration
+}
+
+// DefaultHBLoad sweeps AMG sizes across every detector strategy.
+func DefaultHBLoad() HBLoadOptions {
+	return HBLoadOptions{
+		Seed:       31,
+		GroupSizes: []int{4, 8, 16, 32, 64, 128},
+		Kinds:      []detect.Kind{detect.Ring, detect.BiRing, detect.Subgroup, detect.RandPing, detect.AllToAll},
+		Interval:   1 * time.Second,
+		Window:     60 * time.Second,
+	}
+}
+
+// HBLoadCell measures steady-state heartbeat-plane messages per second on
+// the segment for one (kind, size).
+func HBLoadCell(o HBLoadOptions, kind detect.Kind, size int, seed int64) (float64, error) {
+	cfg := core.DefaultConfig()
+	cfg.BeaconPhase = 3 * time.Second
+	cfg.Detector = kind
+	cfg.Consensus = kind == detect.BiRing
+	cfg.DetectorParams.Interval = o.Interval
+	f, err := farm.Build(farm.Spec{
+		Seed:            seed,
+		UniformNodes:    size,
+		UniformAdapters: 1,
+		Core:            cfg,
+	})
+	if err != nil {
+		return 0, err
+	}
+	f.Start()
+	f.RunFor(cfg.BeaconPhase + 15*time.Second) // settle
+	f.Metrics.Reset(f.Sched.Now())
+	f.RunFor(o.Window)
+	hb := f.Metrics.PlaneCounter(metrics.Plane(transport.PortHeartbeat))
+	return f.Metrics.Rate(hb.Messages, f.Sched.Now()), nil
+}
+
+// HBLoad reproduces the scalability comparison: messages/second on the
+// segment vs. AMG size, per detection scheme. Rings and randomized
+// pinging stay linear; all-to-all (the HACMP-style baseline) is
+// quadratic.
+func HBLoad(o HBLoadOptions) (*Table, error) {
+	t := &Table{
+		ID:    "E5/hbload",
+		Title: fmt.Sprintf("steady-state failure-detection load (msgs/s on segment, Th=%v)", o.Interval),
+	}
+	t.Columns = append(t.Columns, "group size")
+	for _, k := range o.Kinds {
+		t.Columns = append(t.Columns, k.String())
+	}
+	for _, size := range o.GroupSizes {
+		row := []string{fmt.Sprintf("%d", size)}
+		for _, k := range o.Kinds {
+			rate, err := HBLoadCell(o, k, size, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", rate))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("paper §4.2/§5: ring load is linear in members; HACMP-style all-to-all 'scales poorly';")
+	t.Note("randomized pinging imposes 'a much lower load ... for similar detection time' (ref [9])")
+	return t, nil
+}

@@ -1,0 +1,75 @@
+// Package exp regenerates the paper's evaluation artifacts: every
+// experiment in DESIGN.md §5 (Figure 5, Formula 1, the beacon-loss
+// analysis, and the quantitative versions of the §3/§4.2 claims) is a
+// function producing a printable table. cmd/gsbench prints them;
+// bench_test.go wraps them in testing.B harnesses; EXPERIMENTS.md records
+// paper-vs-measured.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string // experiment id, e.g. "E1/fig5"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table, aligned, with a header rule.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// secs renders a duration as seconds with one decimal.
+func secs(d time.Duration) string { return fmt.Sprintf("%.1f", d.Seconds()) }
+
+// secs2 renders a duration as seconds with two decimals.
+func secs2(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }

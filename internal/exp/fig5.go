@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/central"
+	"repro/internal/core"
+	"repro/internal/farm"
+)
+
+// Fig5Options parameterizes the Figure 5 reproduction.
+type Fig5Options struct {
+	Seed int64
+	// NodeCounts are the farm sizes to sweep; each node has AdaptersPerNode
+	// adapters, so the x-axis value is NodeCounts[i] * AdaptersPerNode.
+	NodeCounts      []int
+	AdaptersPerNode int
+	// BeaconPhases are the Tb values (the paper uses 5, 10, 20 s).
+	BeaconPhases []time.Duration
+	// StableWait is Ts (5 s in the paper); StabilizeWait is Tgsc (15 s).
+	StableWait    time.Duration
+	StabilizeWait time.Duration
+	// StartSkew models the daemon boot stagger contributing to δ.
+	StartSkew time.Duration
+	// Timeout bounds each run.
+	Timeout time.Duration
+}
+
+// DefaultFig5 mirrors the paper's experiment: Tb ∈ {5,10,20} s, Ts = 5 s,
+// Tgsc = 15 s, three adapters per node, farm sizes up to the 55-node
+// testbed (165 adapters).
+func DefaultFig5() Fig5Options {
+	return Fig5Options{
+		Seed:            1,
+		NodeCounts:      []int{2, 5, 10, 20, 30, 40, 55},
+		AdaptersPerNode: 3,
+		BeaconPhases:    []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second},
+		StableWait:      5 * time.Second,
+		StabilizeWait:   15 * time.Second,
+		StartSkew:       2 * time.Second,
+		Timeout:         5 * time.Minute,
+	}
+}
+
+// fig5Farm builds the uniform testbed farm for one (n, Tb) cell.
+func fig5Farm(o Fig5Options, nodes int, tb time.Duration, seed int64) (*farm.Farm, error) {
+	cfg := core.DefaultConfig()
+	cfg.BeaconPhase = tb
+	cfg.StableWait = o.StableWait
+	cc := central.DefaultConfig()
+	cc.StabilizeWait = o.StabilizeWait
+	return farm.Build(farm.Spec{
+		Seed:            seed,
+		UniformNodes:    nodes,
+		UniformAdapters: o.AdaptersPerNode,
+		StartSkew:       o.StartSkew,
+		Core:            cfg,
+		Central:         cc,
+	})
+}
+
+// Fig5Cell measures one data point: the time for all groups to become
+// stable (Central's view quiet for Tgsc), from simulation start.
+func Fig5Cell(o Fig5Options, nodes int, tb time.Duration, seed int64) (time.Duration, error) {
+	f, err := fig5Farm(o, nodes, tb, seed)
+	if err != nil {
+		return 0, err
+	}
+	f.Start()
+	at, ok := f.RunUntilStable(o.Timeout)
+	if !ok {
+		return 0, fmt.Errorf("exp: fig5 run (n=%d Tb=%v) never stabilized", nodes, tb)
+	}
+	return at, nil
+}
+
+// Fig5 reproduces Figure 5: time for all groups to become stable vs.
+// number of adapters, one series per Tb. The paper's finding — constant
+// in group size, equal to Tb+Ts+Tgsc plus a small δ — should hold.
+func Fig5(o Fig5Options) (*Table, error) {
+	t := &Table{
+		ID:    "E1/fig5",
+		Title: "time for all groups to become stable (s) vs number of adapters",
+	}
+	t.Columns = append(t.Columns, "adapters")
+	for _, tb := range o.BeaconPhases {
+		t.Columns = append(t.Columns, fmt.Sprintf("Tb=%ds", int(tb.Seconds())))
+	}
+	for _, tb := range o.BeaconPhases {
+		t.Columns = append(t.Columns, fmt.Sprintf("δ(Tb=%ds)", int(tb.Seconds())))
+	}
+	var maxDelta time.Duration
+	for _, n := range o.NodeCounts {
+		row := []string{fmt.Sprintf("%d", n*o.AdaptersPerNode)}
+		var deltas []string
+		for _, tb := range o.BeaconPhases {
+			got, err := Fig5Cell(o, n, tb, o.Seed+int64(n))
+			if err != nil {
+				return nil, err
+			}
+			predicted := tb + o.StableWait + o.StabilizeWait
+			delta := got - predicted
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+			row = append(row, secs(got))
+			deltas = append(deltas, secs(delta))
+		}
+		row = append(row, deltas...)
+		t.AddRow(row...)
+	}
+	t.Note("predicted T = Tb + Ts + Tgsc with Ts=%v, Tgsc=%v (paper formula 1)", o.StableWait, o.StabilizeWait)
+	t.Note("paper: constant vs adapters, δ between 5 and 6 s (Java threads + start stagger); here δ <= %s s from StartSkew=%v + protocol costs", secs(maxDelta), o.StartSkew)
+	return t, nil
+}
+
+// Formula1Options parameterizes the Formula (1) validation grid.
+type Formula1Options struct {
+	Seed            int64
+	Nodes           int
+	AdaptersPerNode int
+	Grid            []Formula1Point
+	StartSkew       time.Duration
+	Timeout         time.Duration
+}
+
+// Formula1Point is one (Tb, Ts, Tgsc) parameter combination.
+type Formula1Point struct {
+	Tb, Ts, Tgsc time.Duration
+}
+
+// DefaultFormula1 sweeps the configurable parameters on the 55-node
+// testbed shape.
+func DefaultFormula1() Formula1Options {
+	s := time.Second
+	return Formula1Options{
+		Seed:            7,
+		Nodes:           55,
+		AdaptersPerNode: 3,
+		Grid: []Formula1Point{
+			{5 * s, 5 * s, 15 * s},
+			{10 * s, 5 * s, 15 * s},
+			{20 * s, 5 * s, 15 * s},
+			{5 * s, 10 * s, 15 * s},
+			{5 * s, 5 * s, 30 * s},
+			{10 * s, 10 * s, 30 * s},
+		},
+		StartSkew: 2 * time.Second,
+		Timeout:   10 * time.Minute,
+	}
+}
+
+// Formula1 validates T = Tb + Ts + Tgsc + δ across a parameter grid.
+func Formula1(o Formula1Options) (*Table, error) {
+	t := &Table{
+		ID:      "E2/formula1",
+		Title:   fmt.Sprintf("stabilization model vs measurement (%d nodes x %d adapters)", o.Nodes, o.AdaptersPerNode),
+		Columns: []string{"Tb(s)", "Ts(s)", "Tgsc(s)", "predicted(s)", "measured(s)", "δ(s)"},
+	}
+	for i, pt := range o.Grid {
+		cfg := core.DefaultConfig()
+		cfg.BeaconPhase = pt.Tb
+		cfg.StableWait = pt.Ts
+		cc := central.DefaultConfig()
+		cc.StabilizeWait = pt.Tgsc
+		f, err := farm.Build(farm.Spec{
+			Seed:            o.Seed + int64(i),
+			UniformNodes:    o.Nodes,
+			UniformAdapters: o.AdaptersPerNode,
+			StartSkew:       o.StartSkew,
+			Core:            cfg,
+			Central:         cc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Start()
+		got, ok := f.RunUntilStable(o.Timeout)
+		if !ok {
+			return nil, fmt.Errorf("exp: formula1 point %+v never stabilized", pt)
+		}
+		predicted := pt.Tb + pt.Ts + pt.Tgsc
+		t.AddRow(secs(pt.Tb), secs(pt.Ts), secs(pt.Tgsc), secs(predicted), secs(got), secs(got-predicted))
+	}
+	t.Note("paper §4.1: measured δ between 5 and 6 s on the 55-node Java prototype")
+	return t, nil
+}

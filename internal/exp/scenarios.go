@@ -1,0 +1,473 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/amg"
+	"repro/internal/central"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/farm"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// coreView aliases the committed-membership type used in daemon hooks.
+type coreView = amg.Membership
+
+// FailoverOptions parameterizes the leader / Central failover timings.
+type FailoverOptions struct {
+	Seed   int64
+	Nodes  int
+	Trials int
+}
+
+// DefaultFailover uses a modest admin segment.
+func DefaultFailover() FailoverOptions {
+	return FailoverOptions{Seed: 41, Nodes: 12, Trials: 3}
+}
+
+// Failover measures (a) AMG leader death -> recommitted group under the
+// successor, and (b) Central death -> new Central with a rebuilt view.
+func Failover(o FailoverOptions) (*Table, error) {
+	t := &Table{
+		ID:      "E6/failover",
+		Title:   fmt.Sprintf("leader and Central failover times (%d admin nodes)", o.Nodes),
+		Columns: []string{"trial", "leader death -> recommit(s)", "central death -> re-elected(s)", "central view rebuilt(s)"},
+	}
+	for trial := 0; trial < o.Trials; trial++ {
+		cfg := core.DefaultConfig()
+		cfg.BeaconPhase = 3 * time.Second
+		cc := central.DefaultConfig()
+		cc.StabilizeWait = 5 * time.Second
+		f, err := farm.Build(farm.Spec{
+			Seed:         o.Seed + int64(trial)*13,
+			AdminNodes:   o.Nodes,
+			UniformNodes: 4, UniformAdapters: 2, // extra groups to rebuild
+			Core: cfg, Central: cc, RecordEvents: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Track recommits of the admin group.
+		var recommitAt time.Duration
+		var killedAt time.Duration
+		var oldLeader transport.IP
+		for _, d := range f.Daemons {
+			d := d
+			d.SetHooks(core.Hooks{Commit: func(adapter transport.IP, view coreView) {
+				if killedAt > 0 && recommitAt == 0 && !view.Contains(oldLeader) && view.Size() > 1 {
+					recommitAt = f.Sched.Now()
+				}
+			}})
+			_ = d
+		}
+		f.Start()
+		if _, ok := f.RunUntilStable(2 * time.Minute); !ok {
+			return nil, fmt.Errorf("exp: failover trial %d never stabilized", trial)
+		}
+		// Identify and kill the Central host (the admin leader).
+		var hostName string
+		for name, d := range f.Daemons {
+			if d.Running() && d.HostingCentral() {
+				hostName = name
+			}
+		}
+		host := f.Daemons[hostName]
+		oldLeader = host.AdminIP()
+		groupsBefore := f.ActiveCentral().GroupCount()
+		killedAt = f.Sched.Now()
+		if err := f.KillNode(hostName); err != nil {
+			return nil, err
+		}
+		// Run until a new central is elected and has the full view again.
+		var electedAt, rebuiltAt time.Duration
+		deadline := f.Sched.Now() + 3*time.Minute
+		for f.Sched.Now() < deadline {
+			f.RunFor(250 * time.Millisecond)
+			c := f.ActiveCentral()
+			if c == nil {
+				continue
+			}
+			if electedAt == 0 {
+				for _, e := range f.Bus.Log() {
+					if e.Kind == event.CentralElected && e.Time > killedAt {
+						electedAt = e.Time
+						break
+					}
+				}
+			}
+			if electedAt != 0 && rebuiltAt == 0 && c.GroupCount() >= groupsBefore {
+				rebuiltAt = f.Sched.Now()
+				break
+			}
+		}
+		row := []string{fmt.Sprintf("%d", trial+1)}
+		if recommitAt > 0 {
+			row = append(row, secs2(recommitAt-killedAt))
+		} else {
+			row = append(row, "n/a")
+		}
+		if electedAt > 0 {
+			row = append(row, secs2(electedAt-killedAt))
+		} else {
+			row = append(row, "timeout")
+		}
+		if rebuiltAt > 0 {
+			row = append(row, secs2(rebuiltAt-killedAt))
+		} else {
+			row = append(row, "timeout")
+		}
+		t.AddRow(row...)
+	}
+	t.Note("leader recommit = detect (k x Th) + consensus window + probe + 2PC;")
+	t.Note("view rebuild adds the successor's Ts quiet wait and full re-reports")
+	return t, nil
+}
+
+// MoveOptions parameterizes the dynamic reconfiguration experiment.
+type MoveOptions struct {
+	Seed   int64
+	Trials int
+}
+
+// DefaultMove uses two domains of the Figure 2 shape.
+func DefaultMove() MoveOptions { return MoveOptions{Seed: 51, Trials: 3} }
+
+// Move reproduces §3.1: Central moves a node between domains via SNMP
+// VLAN rewriting; the old AMG recommits, the new AMG absorbs the node,
+// Central infers the move and suppresses the false failure notifications.
+func Move(o MoveOptions) (*Table, error) {
+	t := &Table{
+		ID:      "E7/move",
+		Title:   "central-initiated domain move (SNMP VLAN rewrite)",
+		Columns: []string{"trial", "snmp done(s)", "move inferred(s)", "suppressed fails", "unsuppressed fails", "verify clean"},
+	}
+	for trial := 0; trial < o.Trials; trial++ {
+		cfg := core.DefaultConfig()
+		cfg.BeaconPhase = 3 * time.Second
+		cfg.OrphanTimeout = 8 * time.Second
+		cc := central.DefaultConfig()
+		cc.StabilizeWait = 5 * time.Second
+		f, err := farm.Build(farm.Spec{
+			Seed:       o.Seed + int64(trial)*17,
+			AdminNodes: 2,
+			Domains: []farm.DomainSpec{
+				{Name: "acme", FrontEnds: 2, BackEnds: 3},
+				{Name: "globex", FrontEnds: 2, BackEnds: 3},
+			},
+			Core: cfg, Central: cc, RecordEvents: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Start()
+		if _, ok := f.RunUntilStable(3 * time.Minute); !ok {
+			return nil, fmt.Errorf("exp: move trial %d never stabilized", trial)
+		}
+		mover := "acme-be-01"
+		movedAdapter := f.Nodes[mover].Adapters[1]
+		start := f.Sched.Now()
+		var snmpDone time.Duration
+		if err := f.MoveNodeToDomain(mover, "globex", func(err error) {
+			if err == nil {
+				snmpDone = f.Sched.Now()
+			}
+		}); err != nil {
+			return nil, err
+		}
+		f.RunFor(2 * time.Minute)
+
+		var inferredAt time.Duration
+		suppressed, unsuppressed := 0, 0
+		for _, e := range f.Bus.Log() {
+			if e.Time < start {
+				continue
+			}
+			switch e.Kind {
+			case event.NodeMoved:
+				if e.Adapter == movedAdapter && inferredAt == 0 {
+					inferredAt = e.Time
+				}
+			case event.AdapterFailed:
+				if e.Adapter == movedAdapter {
+					if e.Suppressed {
+						suppressed++
+					} else {
+						unsuppressed++
+					}
+				}
+			}
+		}
+		clean := "yes"
+		if ms := f.ActiveCentral().Verify(); len(ms) != 0 {
+			clean = fmt.Sprintf("no (%d findings)", len(ms))
+		}
+		inf := "never"
+		if inferredAt > 0 {
+			inf = secs2(inferredAt - start)
+		}
+		sd := "never"
+		if snmpDone > 0 {
+			sd = secs2(snmpDone - start)
+		}
+		t.AddRow(fmt.Sprintf("%d", trial+1), sd, inf, fmt.Sprintf("%d", suppressed),
+			fmt.Sprintf("%d", unsuppressed), clean)
+	}
+	t.Note("paper §3.1: neither AMG leader knows a move happened; Central correlates the leave/join pair,")
+	t.Note("and expected (Central-initiated) changes suppress external failure notifications")
+	return t, nil
+}
+
+// MergeOptions parameterizes the partition-heal experiment.
+type MergeOptions struct {
+	Seed  int64
+	Sizes [][2]int
+}
+
+// DefaultMerge sweeps partition size pairs.
+func DefaultMerge() MergeOptions {
+	return MergeOptions{Seed: 61, Sizes: [][2]int{{2, 2}, {4, 4}, {8, 8}, {16, 4}, {16, 16}}}
+}
+
+// Merge measures how long two independently formed AMGs take to merge
+// under the higher-IP leader once their partition heals.
+func Merge(o MergeOptions) (*Table, error) {
+	t := &Table{
+		ID:      "E8/merge",
+		Title:   "partition heal: time to one merged AMG",
+		Columns: []string{"sizes", "merge time(s)", "final leader is highest"},
+	}
+	for _, pair := range o.Sizes {
+		dur, leaderOK, err := mergeTrial(o.Seed, pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		ok := "yes"
+		if !leaderOK {
+			ok = "NO"
+		}
+		t.AddRow(fmt.Sprintf("%d+%d", pair[0], pair[1]), secs2(dur), ok)
+	}
+	t.Note("merging AMGs are led by the AMG leader with the highest IP address (paper §2.1)")
+	return t, nil
+}
+
+func mergeTrial(seed int64, a, b int) (time.Duration, bool, error) {
+	cfg := core.DefaultConfig()
+	cfg.BeaconPhase = 3 * time.Second
+	// Two VLANs initially; we heal by re-VLANing partition B.
+	f, err := farm.Build(farm.Spec{
+		Seed:            seed,
+		UniformNodes:    a + b,
+		UniformAdapters: 2, // admin + one data segment per node
+		NodesPerSwitch:  a + b,
+		Core:            cfg,
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	// Pre-partition: move the data adapters of the last b nodes onto a
+	// private VLAN before starting.
+	var partB []transport.IP
+	for i := a; i < a+b; i++ {
+		ip := f.Nodes[fmt.Sprintf("node-%03d", i)].Adapters[1]
+		partB = append(partB, ip)
+		sw, port, _ := f.Fabric.Locate(ip)
+		if err := sw.SetPortVLAN(port, 900); err != nil {
+			return 0, false, err
+		}
+	}
+	f.Start()
+	f.RunFor(cfg.BeaconPhase + 15*time.Second)
+	// Heal: everyone back onto VLAN 11.
+	healedAt := f.Sched.Now()
+	for _, ip := range partB {
+		sw, port, _ := f.Fabric.Locate(ip)
+		if err := sw.SetPortVLAN(port, 11); err != nil {
+			return 0, false, err
+		}
+	}
+	// Wait until every data adapter shares one committed view.
+	var all []transport.IP
+	var highest transport.IP
+	for i := 0; i < a+b; i++ {
+		ip := f.Nodes[fmt.Sprintf("node-%03d", i)].Adapters[1]
+		all = append(all, ip)
+		if ip > highest {
+			highest = ip
+		}
+	}
+	deadline := f.Sched.Now() + 5*time.Minute
+	for f.Sched.Now() < deadline {
+		f.RunFor(250 * time.Millisecond)
+		if merged, leader := oneGroup(f, all); merged {
+			return f.Sched.Now() - healedAt, leader == highest, nil
+		}
+	}
+	return 0, false, fmt.Errorf("exp: merge %d+%d never converged", a, b)
+}
+
+// oneGroup reports whether all adapters share one committed view.
+func oneGroup(f *farm.Farm, ips []transport.IP) (bool, transport.IP) {
+	var leader transport.IP
+	for i, ip := range ips {
+		v, ok := viewOf(f, ip)
+		if !ok || v.Size() != len(ips) {
+			return false, 0
+		}
+		if i == 0 {
+			leader = v.Leader()
+		} else if v.Leader() != leader {
+			return false, 0
+		}
+	}
+	return true, leader
+}
+
+func viewOf(f *farm.Farm, ip transport.IP) (coreView, bool) {
+	for _, d := range f.Daemons {
+		if v, ok := d.View(ip); ok {
+			return v, true
+		}
+	}
+	return coreView{}, false
+}
+
+// CentralLoadOptions parameterizes the §4.2 Central-load experiment.
+type CentralLoadOptions struct {
+	Seed      int64
+	FarmSizes []int
+	Window    time.Duration
+	// ChurnPeriod injects a node kill+restart this often during the churn
+	// window (0 disables).
+	ChurnPeriod time.Duration
+}
+
+// DefaultCentralLoad sweeps farm sizes.
+func DefaultCentralLoad() CentralLoadOptions {
+	return CentralLoadOptions{
+		Seed:        71,
+		FarmSizes:   []int{10, 25, 50, 100},
+		Window:      60 * time.Second,
+		ChurnPeriod: 10 * time.Second,
+	}
+}
+
+// CentralLoad measures report-plane traffic: during formation, in steady
+// state (the paper: zero), and under churn (delta-only).
+func CentralLoad(o CentralLoadOptions) (*Table, error) {
+	t := &Table{
+		ID:      "E9/centralload",
+		Title:   "report-plane load at GulfStream Central (messages)",
+		Columns: []string{"nodes", "adapters", "formation msgs", "steady msgs/min", "churn msgs/min"},
+	}
+	for _, n := range o.FarmSizes {
+		cfg := core.DefaultConfig()
+		cfg.BeaconPhase = 5 * time.Second
+		f, err := farm.Build(farm.Spec{
+			Seed:            o.Seed + int64(n),
+			UniformNodes:    n,
+			UniformAdapters: 3,
+			StartSkew:       2 * time.Second,
+			Core:            cfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Start()
+		if _, ok := f.RunUntilStable(5 * time.Minute); !ok {
+			return nil, fmt.Errorf("exp: centralload n=%d never stabilized", n)
+		}
+		formation := f.Metrics.PlaneCounter(metrics.Plane(transport.PortReport)).Messages
+
+		f.Metrics.Reset(f.Sched.Now())
+		f.RunFor(o.Window)
+		steady := f.Metrics.PlaneCounter(metrics.Plane(transport.PortReport)).Messages
+		steadyPerMin := float64(steady) / o.Window.Minutes()
+
+		churnPerMin := 0.0
+		if o.ChurnPeriod > 0 {
+			f.Metrics.Reset(f.Sched.Now())
+			end := f.Sched.Now() + o.Window
+			i := 0
+			for f.Sched.Now() < end {
+				name := fmt.Sprintf("node-%03d", i%n)
+				_ = f.KillNode(name)
+				f.RunFor(o.ChurnPeriod / 2)
+				_ = f.RestartNode(name)
+				f.RunFor(o.ChurnPeriod / 2)
+				i++
+			}
+			churn := f.Metrics.PlaneCounter(metrics.Plane(transport.PortReport)).Messages
+			churnPerMin = float64(churn) / o.Window.Minutes()
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", 3*n),
+			fmt.Sprintf("%d", formation), fmt.Sprintf("%.1f", steadyPerMin),
+			fmt.Sprintf("%.1f", churnPerMin))
+	}
+	t.Note("paper §2.2: 'in the steady state, no network resources are used for group membership information';")
+	t.Note("leaders forward only membership changes, so churn traffic scales with churn, not farm size")
+	return t, nil
+}
+
+// VerifyOptions parameterizes the verification experiment.
+type VerifyOptions struct {
+	Seed int64
+}
+
+// DefaultVerify uses a two-domain farm.
+func DefaultVerify() VerifyOptions { return VerifyOptions{Seed: 81} }
+
+// Verify seeds one inconsistency of each kind between the database and
+// the farm, and checks Central's discovered-vs-database comparison flags
+// each (paper §2.2's inversion: discover first, then check the database).
+func Verify(o VerifyOptions) (*Table, error) {
+	cfg := core.DefaultConfig()
+	cfg.BeaconPhase = 3 * time.Second
+	cc := central.DefaultConfig()
+	cc.StabilizeWait = 5 * time.Second
+	f, err := farm.Build(farm.Spec{
+		Seed:       o.Seed,
+		AdminNodes: 2,
+		Domains: []farm.DomainSpec{
+			{Name: "acme", FrontEnds: 2, BackEnds: 3},
+			{Name: "globex", FrontEnds: 2, BackEnds: 3},
+		},
+		Core: cfg, Central: cc, RecordEvents: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Seed 1: wrong expected VLAN in the database (WrongSegment).
+	wrongSeg := f.Nodes["acme-be-01"].Adapters[1]
+	_ = f.DB.SetExpectedVLAN(wrongSeg, 999)
+
+	f.Start()
+	if _, ok := f.RunUntilStable(3 * time.Minute); !ok {
+		return nil, fmt.Errorf("exp: verify farm never stabilized")
+	}
+	// Seed 2: an adapter the database knows nothing about (UnknownAdapter)
+	// — simulate by removing... the DB is already built; instead report a
+	// rogue adapter by killing a node the DB expects (MissingAdapter).
+	missing := "globex-be-02"
+	_ = f.KillNode(missing)
+	f.RunFor(30 * time.Second)
+
+	findings := f.ActiveCentral().Verify()
+	counts := map[string]int{}
+	for _, m := range findings {
+		counts[m.Kind.String()]++
+	}
+	t := &Table{
+		ID:      "E10/verify",
+		Title:   "discovered-vs-database verification findings",
+		Columns: []string{"seeded inconsistency", "expected kind", "found"},
+	}
+	t.AddRow("db expects vlan 999 for "+wrongSeg.String(), "wrong-segment", fmt.Sprintf("%d", counts["wrong-segment"]))
+	t.AddRow("node "+missing+" down (its adapters vanish)", "missing-adapter", fmt.Sprintf("%d", counts["missing-adapter"]))
+	t.AddRow("(control) everything else", "no findings", fmt.Sprintf("%d other", len(findings)-counts["wrong-segment"]-counts["missing-adapter"]))
+	t.Note("paper §2.2: inconsistencies are flagged and the affected adapters can be disabled until resolved")
+	return t, nil
+}

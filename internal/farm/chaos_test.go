@@ -1,0 +1,179 @@
+package farm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/netsim"
+)
+
+// Chaos test: a farm is subjected to a long random schedule of node
+// kills, restarts, adapter failures of every mode, switch outages, and
+// Central-initiated domain moves — then left alone. Afterwards the whole
+// system must converge: every live adapter in exactly one group per
+// segment, Central's view matching the daemons' views, verification
+// clean, and no failure events for adapters that were healthy the whole
+// time.
+func TestChaosConvergence(t *testing.T) {
+	for _, seed := range []int64{101, 202, 303, 404, 505} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			chaosRun(t, seed)
+		})
+	}
+}
+
+func chaosRun(t *testing.T, seed int64) {
+	spec := fastSpec(seed)
+	spec.AdminNodes = 3
+	spec.Domains = []DomainSpec{
+		{Name: "acme", FrontEnds: 2, BackEnds: 3},
+		{Name: "globex", FrontEnds: 2, BackEnds: 3},
+	}
+	spec.NodesPerSwitch = 7
+	spec.Core.EscalationPatience = 3 * time.Second
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(2 * time.Minute); !ok {
+		t.Fatal("initial stabilization failed")
+	}
+	rng := f.Sched.Rand()
+
+	// Track which nodes were ever disturbed; untouched ones must never be
+	// the subject of an (unsuppressed) failure event.
+	disturbed := map[string]bool{}
+	// Nodes that can be chaos targets (not management, to keep Central's
+	// segment quorate enough for the run to stay observable).
+	var targets []string
+	for _, name := range f.order {
+		if f.Nodes[name].Role != "admin" {
+			targets = append(targets, name)
+		}
+	}
+	down := map[string]bool{}
+
+	const rounds = 25
+	for i := 0; i < rounds; i++ {
+		name := targets[rng.Intn(len(targets))]
+		switch rng.Intn(5) {
+		case 0: // kill
+			if !down[name] {
+				disturbed[name] = true
+				down[name] = true
+				if err := f.KillNode(name); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 1: // restart
+			if down[name] {
+				down[name] = false
+				if err := f.RestartNode(name); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 2: // adapter failure mode roulette
+			if !down[name] {
+				disturbed[name] = true
+				info := f.Nodes[name]
+				ip := info.Adapters[rng.Intn(len(info.Adapters))]
+				modes := []netsim.FailureMode{netsim.FailStop, netsim.FailRecv, netsim.FailSend}
+				_ = f.FailAdapter(ip, modes[rng.Intn(len(modes))])
+				// Heal it a bit later so the run can converge.
+				f.Sched.AfterFunc(10*time.Second, func() { _ = f.FailAdapter(ip, netsim.Healthy) })
+			}
+		case 3: // domain move via Central
+			info := f.Nodes[name]
+			if !down[name] && (info.Role == "frontend" || info.Role == "backend") {
+				disturbed[name] = true
+				to := "acme"
+				if info.Domain == "acme" {
+					to = "globex"
+				}
+				_ = f.MoveNodeToDomain(name, to, nil)
+			}
+		case 4: // switch blink
+			sw := f.Fabric.Switches()[rng.Intn(len(f.Fabric.Switches()))]
+			swName := sw.Name()
+			// Everything on that switch is disturbed.
+			for _, n := range f.order {
+				if f.Nodes[n].Switch == swName {
+					disturbed[n] = true
+				}
+			}
+			_ = f.KillSwitch(swName)
+			f.Sched.AfterFunc(8*time.Second, func() { _ = f.RestoreSwitch(swName) })
+		}
+		f.RunFor(time.Duration(2+rng.Intn(6)) * time.Second)
+	}
+	// Revive everything and let the farm settle.
+	for name := range down {
+		if down[name] {
+			_ = f.RestartNode(name)
+		}
+	}
+	f.RunFor(3 * time.Minute)
+
+	// 1. Every daemon's adapters are committed members of some group, and
+	//    all adapters that share a segment share a view.
+	bySegment := map[string]map[string]bool{} // segment -> set of view strings
+	for _, name := range f.order {
+		d := f.Daemons[name]
+		if !d.Running() {
+			t.Fatalf("node %s still down after revival", name)
+		}
+		for _, ip := range f.Nodes[name].Adapters {
+			seg, connected := f.SegmentOf(ip)
+			if !connected {
+				t.Fatalf("adapter %v has no segment after chaos", ip)
+			}
+			v, ok := d.View(ip)
+			if !ok {
+				t.Fatalf("adapter %v (node %s) has no committed view", ip, name)
+			}
+			set := bySegment[seg]
+			if set == nil {
+				set = map[string]bool{}
+				bySegment[seg] = set
+			}
+			set[v.String()] = true
+		}
+	}
+	for seg, views := range bySegment {
+		if len(views) != 1 {
+			t.Fatalf("segment %s did not converge to one view: %v", seg, views)
+		}
+	}
+	// 2. Central's view matches reality and verification is clean.
+	c := f.ActiveCentral()
+	if c == nil {
+		t.Fatal("no active central after chaos")
+	}
+	if !c.Stable() {
+		t.Fatal("central not stable after quiet period")
+	}
+	total := 0
+	for _, members := range c.Groups() {
+		total += len(members)
+	}
+	want := 0
+	for _, name := range f.order {
+		want += len(f.Nodes[name].Adapters)
+	}
+	if total != want {
+		t.Fatalf("central tracks %d adapters, want %d (groups: %v)", total, want, c.Groups())
+	}
+	if ms := c.Verify(); len(ms) != 0 {
+		t.Fatalf("post-chaos verification found: %v", ms)
+	}
+	// 3. Never-disturbed nodes must have no unsuppressed failure events.
+	for _, e := range f.Bus.Filter(event.NodeFailed) {
+		if !disturbed[e.Node] && !e.Suppressed {
+			t.Fatalf("undisturbed node %s was declared failed: %v", e.Node, e)
+		}
+	}
+}

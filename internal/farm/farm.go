@@ -1,0 +1,473 @@
+// Package farm assembles complete simulated multi-domain server farms —
+// the Océano shape of Figure 1/2: network-isolated customer domains with
+// front-end and back-end layers, an administrative domain that every node
+// touches, managed switches whose VLAN tables define the segments, a
+// configuration database describing the expected topology, and a
+// GulfStream daemon on every node. It is the workload generator and fault
+// injector behind every experiment in EXPERIMENTS.md.
+package farm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/central"
+	"repro/internal/configdb"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+	"repro/internal/transport"
+)
+
+// AdminVLAN is the administrative domain's VLAN id.
+const AdminVLAN = 1
+
+// DomainSpec describes one hosted customer domain.
+type DomainSpec struct {
+	Name      string
+	FrontEnds int
+	BackEnds  int
+}
+
+// FrontVLAN returns the VLAN of domain i's front-end segment.
+func FrontVLAN(i int) int { return 100 + 2*i }
+
+// BackVLAN returns the VLAN of domain i's back-end segment.
+func BackVLAN(i int) int { return 101 + 2*i }
+
+// Spec describes a farm to build.
+type Spec struct {
+	Seed int64
+
+	// Domains lists the hosted domains (may be empty for uniform farms).
+	Domains []DomainSpec
+	// AdminNodes are management-only nodes (one admin adapter each); the
+	// paper's "management nodes eligible to host the GulfStream view".
+	AdminNodes int
+
+	// UniformNodes, when > 0, builds the testbed shape instead: N nodes
+	// with UniformAdapters adapters each, adapter i on VLAN class i
+	// (adapter 0 administrative) — the Figure 5 workload.
+	UniformNodes    int
+	UniformAdapters int
+
+	// NodesPerSwitch packs nodes onto switches (default 16).
+	NodesPerSwitch int
+
+	// Network quality.
+	Loss    float64
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// StartSkew staggers daemon boots uniformly over [0, StartSkew) —
+	// the dominant component of the paper's δ.
+	StartSkew time.Duration
+
+	// Core is the daemon configuration; zero value means defaults.
+	Core core.Config
+	// Central is the GulfStream Central configuration; zero means defaults.
+	Central central.Config
+	// RecordEvents keeps the full event log on the bus.
+	RecordEvents bool
+}
+
+// NodeInfo describes one built node.
+type NodeInfo struct {
+	Name     string
+	Role     string // "admin", "frontend", "backend", "uniform"
+	Domain   string
+	Adapters []transport.IP // by adapter index
+	Switch   string
+}
+
+// Farm is a built, runnable simulated farm.
+type Farm struct {
+	Spec    Spec
+	Sched   *sim.Scheduler
+	Net     *netsim.Network
+	Fabric  *switchsim.Fabric
+	DB      *configdb.DB
+	Bus     *event.Bus
+	Metrics *metrics.Registry
+
+	Nodes    map[string]*NodeInfo
+	Daemons  map[string]*core.Daemon
+	Centrals map[string]*central.Central
+
+	adapters map[transport.IP]*netsim.Adapter
+	order    []string // node build order (deterministic)
+	started  bool
+}
+
+// Build constructs the farm described by spec.
+func Build(spec Spec) (*Farm, error) {
+	if spec.NodesPerSwitch <= 0 {
+		spec.NodesPerSwitch = 16
+	}
+	if spec.Core.BeaconInterval == 0 {
+		spec.Core = core.DefaultConfig()
+	}
+	if spec.Central.StabilizeWait == 0 {
+		spec.Central = central.DefaultConfig()
+	}
+	if spec.Latency == 0 {
+		spec.Latency = 200 * time.Microsecond
+	}
+	if spec.Jitter == 0 {
+		spec.Jitter = 300 * time.Microsecond
+	}
+	f := &Farm{
+		Spec:     spec,
+		Sched:    sim.NewScheduler(spec.Seed),
+		Fabric:   switchsim.NewFabric(),
+		DB:       configdb.New(),
+		Bus:      event.NewBus(spec.RecordEvents),
+		Metrics:  metrics.NewRegistry(),
+		Nodes:    make(map[string]*NodeInfo),
+		Daemons:  make(map[string]*core.Daemon),
+		Centrals: make(map[string]*central.Central),
+		adapters: make(map[transport.IP]*netsim.Adapter),
+	}
+	f.Net = netsim.New(f.Sched, f.Fabric)
+	f.Net.SetDefaultProfile(netsim.LinkProfile{Loss: spec.Loss, Latency: spec.Latency, Jitter: spec.Jitter})
+	f.Metrics.Attach(f.Net)
+
+	if err := f.build(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// clock adapts the scheduler to transport.Clock.
+type clock struct{ s *sim.Scheduler }
+
+func (c clock) Now() time.Duration { return c.s.Now() }
+func (c clock) AfterFunc(d time.Duration, fn func()) transport.Timer {
+	return c.s.AfterFunc(d, fn)
+}
+
+// Clock returns the farm's virtual clock.
+func (f *Farm) Clock() transport.Clock { return clock{f.Sched} }
+
+// ipFor allocates 10.<class>.<hi>.<lo> for the ordinal-th adapter of a
+// VLAN class.
+func ipFor(class, ordinal int) transport.IP {
+	return transport.MakeIP(10, byte(class), byte(ordinal/200), byte(ordinal%200+1))
+}
+
+type builder struct {
+	f *Farm
+	// per-class ordinals for IP allocation
+	ordinals map[int]int
+	// per-switch port counters
+	ports map[string]int
+	// switch assignment
+	switchOf  func(nodeIdx int) string
+	nodeCount int
+}
+
+func (b *builder) nextIP(class int) transport.IP {
+	b.ordinals[class]++
+	return ipFor(class, b.ordinals[class]-1)
+}
+
+func (b *builder) wire(sw string, ip transport.IP, vlan int) int {
+	b.ports[sw]++
+	port := b.ports[sw]
+	b.f.Fabric.Switch(sw).Connect(port, ip, vlan)
+	return port
+}
+
+func (f *Farm) build() error {
+	b := &builder{f: f, ordinals: make(map[int]int), ports: make(map[string]int)}
+
+	// Provision switches: enough for all nodes plus one management port
+	// per switch, all trunked (VLANs are fabric-wide).
+	totalNodes := f.Spec.AdminNodes + f.Spec.UniformNodes
+	for _, d := range f.Spec.Domains {
+		totalNodes += d.FrontEnds + d.BackEnds
+	}
+	if totalNodes == 0 {
+		return fmt.Errorf("farm: spec builds zero nodes")
+	}
+	nSwitches := (totalNodes + f.Spec.NodesPerSwitch - 1) / f.Spec.NodesPerSwitch
+	for i := 0; i < nSwitches; i++ {
+		name := fmt.Sprintf("sw-%02d", i)
+		f.Fabric.AddSwitch(name)
+		// Management adapter on the admin VLAN, with its SNMP agent.
+		mgmt := b.nextIP(9)
+		a := f.Net.AddAdapter(mgmt, name)
+		b.wire(name, mgmt, AdminVLAN)
+		f.Fabric.Switch(name).AttachAgent(a, f.Spec.Central.Community)
+	}
+	b.switchOf = func(nodeIdx int) string {
+		return fmt.Sprintf("sw-%02d", nodeIdx%nSwitches)
+	}
+
+	addNode := func(name, role, domain string, vlans []int) error {
+		sw := b.switchOf(b.nodeCount)
+		b.nodeCount++
+		info := &NodeInfo{Name: name, Role: role, Domain: domain, Switch: sw}
+		var eps []transport.Endpoint
+		for idx, vlan := range vlans {
+			class := 1
+			if idx > 0 {
+				class = vlan % 97 // spreads VLANs over IP classes deterministically
+				if class <= 1 {
+					class += 2
+				}
+			}
+			ip := b.nextIP(class)
+			a := f.Net.AddAdapter(ip, name)
+			port := b.wire(sw, ip, vlan)
+			info.Adapters = append(info.Adapters, ip)
+			eps = append(eps, a)
+			f.adapters[ip] = a
+			if err := f.DB.AddAdapter(configdb.AdapterSpec{
+				IP: ip, Node: name, Index: idx, VLAN: vlan, Switch: sw, Port: port,
+			}); err != nil {
+				return err
+			}
+		}
+		// AddAdapter already created the node record with empty metadata;
+		// fill in its domain and role.
+		node := f.DB.AddNode(name, domain, role)
+		node.Domain = domain
+		node.Role = role
+
+		d, err := core.NewDaemon(f.Spec.Core, name, f.Clock(), f.Sched.Rand(), eps)
+		if err != nil {
+			return err
+		}
+		c := central.New(f.Spec.Central, f.Clock(), f.Bus, f.DB)
+		for _, swt := range f.Fabric.Switches() {
+			c.RegisterSwitchAgent(swt.Name(), transport.Addr{IP: swt.ManagementIP(), Port: transport.PortSNMP})
+		}
+		d.SetCentral(c)
+		f.Nodes[name] = info
+		f.Daemons[name] = d
+		f.Centrals[name] = c
+		f.order = append(f.order, name)
+		return nil
+	}
+
+	// Administrative nodes: single admin adapter.
+	for i := 0; i < f.Spec.AdminNodes; i++ {
+		if err := addNode(fmt.Sprintf("mgmt-%02d", i), "admin", "", []int{AdminVLAN}); err != nil {
+			return err
+		}
+	}
+	// Uniform testbed nodes.
+	for i := 0; i < f.Spec.UniformNodes; i++ {
+		k := f.Spec.UniformAdapters
+		if k <= 0 {
+			k = 3
+		}
+		vlans := []int{AdminVLAN}
+		for a := 1; a < k; a++ {
+			vlans = append(vlans, 10+a)
+		}
+		if err := addNode(fmt.Sprintf("node-%03d", i), "uniform", "", vlans); err != nil {
+			return err
+		}
+	}
+	// Domain nodes.
+	for di, dom := range f.Spec.Domains {
+		for i := 0; i < dom.FrontEnds; i++ {
+			name := fmt.Sprintf("%s-fe-%02d", dom.Name, i)
+			// Admin (circle), dispatcher-facing (triangle), internal (square).
+			if err := addNode(name, "frontend", dom.Name,
+				[]int{AdminVLAN, FrontVLAN(di), BackVLAN(di)}); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < dom.BackEnds; i++ {
+			name := fmt.Sprintf("%s-be-%02d", dom.Name, i)
+			if err := addNode(name, "backend", dom.Name,
+				[]int{AdminVLAN, BackVLAN(di)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Start boots every daemon, staggered over StartSkew.
+func (f *Farm) Start() {
+	if f.started {
+		return
+	}
+	f.started = true
+	for _, name := range f.order {
+		d := f.Daemons[name]
+		delay := time.Duration(0)
+		if f.Spec.StartSkew > 0 {
+			delay = time.Duration(f.Sched.Rand().Int63n(int64(f.Spec.StartSkew)))
+		}
+		f.Sched.AfterFunc(delay, d.Start)
+	}
+}
+
+// RunFor advances the simulation.
+func (f *Farm) RunFor(d time.Duration) { f.Sched.RunFor(d) }
+
+// ActiveCentral returns the authoritative GulfStream Central. Partitioned
+// admin adapters may each host a Central for their own partition (the
+// paper allows this); the authoritative one is the instance with the
+// largest admin group behind it — ties broken by build order for
+// determinism.
+func (f *Farm) ActiveCentral() *central.Central {
+	var best *central.Central
+	bestSize := -1
+	for _, name := range f.order {
+		d := f.Daemons[name]
+		if !d.Running() || !d.HostingCentral() {
+			continue
+		}
+		size := 0
+		if v, ok := d.View(d.AdminIP()); ok {
+			size = v.Size()
+		}
+		if size > bestSize {
+			best, bestSize = f.Centrals[name], size
+		}
+	}
+	return best
+}
+
+// RunUntilStable advances until the active Central has a stable view or
+// the timeout elapses. It returns the instant stability was reached
+// (Central's StableAt) and whether stability was achieved.
+func (f *Farm) RunUntilStable(timeout time.Duration) (time.Duration, bool) {
+	deadline := f.Sched.Now() + timeout
+	step := 250 * time.Millisecond
+	for f.Sched.Now() < deadline {
+		c := f.ActiveCentral()
+		if c != nil && c.Stable() {
+			return c.StableAt(), true
+		}
+		f.Sched.RunFor(step)
+	}
+	c := f.ActiveCentral()
+	if c != nil && c.Stable() {
+		return c.StableAt(), true
+	}
+	return 0, false
+}
+
+// --- fault injection ---
+
+// KillNode crashes a node: its daemon halts and all adapters go dark.
+func (f *Farm) KillNode(name string) error {
+	info, ok := f.Nodes[name]
+	if !ok {
+		return fmt.Errorf("farm: unknown node %q", name)
+	}
+	f.Daemons[name].Crash()
+	for _, ip := range info.Adapters {
+		f.adapters[ip].SetMode(netsim.FailStop)
+	}
+	return nil
+}
+
+// RestartNode reverses KillNode.
+func (f *Farm) RestartNode(name string) error {
+	info, ok := f.Nodes[name]
+	if !ok {
+		return fmt.Errorf("farm: unknown node %q", name)
+	}
+	for _, ip := range info.Adapters {
+		f.adapters[ip].SetMode(netsim.Healthy)
+	}
+	f.Daemons[name].Start()
+	return nil
+}
+
+// FailAdapter puts one adapter into the given failure mode.
+func (f *Farm) FailAdapter(ip transport.IP, mode netsim.FailureMode) error {
+	a, ok := f.adapters[ip]
+	if !ok {
+		return fmt.Errorf("farm: unknown adapter %v", ip)
+	}
+	a.SetMode(mode)
+	return nil
+}
+
+// KillSwitch powers a switch off; every adapter wired to it loses its
+// segment.
+func (f *Farm) KillSwitch(name string) error {
+	sw := f.Fabric.Switch(name)
+	if sw == nil {
+		return fmt.Errorf("farm: unknown switch %q", name)
+	}
+	sw.SetUp(false)
+	return nil
+}
+
+// RestoreSwitch powers a switch back on.
+func (f *Farm) RestoreSwitch(name string) error {
+	sw := f.Fabric.Switch(name)
+	if sw == nil {
+		return fmt.Errorf("farm: unknown switch %q", name)
+	}
+	sw.SetUp(true)
+	return nil
+}
+
+// MoveNodeToDomain asks the active Central to relocate a domain node: its
+// non-admin adapters are re-VLANed to the target domain's segments (front
+// VLAN for adapter 1, back VLAN for adapter 2, by the Figure 2 layout).
+func (f *Farm) MoveNodeToDomain(node, toDomain string, done func(error)) error {
+	c := f.ActiveCentral()
+	if c == nil {
+		return fmt.Errorf("farm: no active central")
+	}
+	di := -1
+	for i, d := range f.Spec.Domains {
+		if d.Name == toDomain {
+			di = i
+		}
+	}
+	if di < 0 {
+		return fmt.Errorf("farm: unknown domain %q", toDomain)
+	}
+	info, ok := f.Nodes[node]
+	if !ok {
+		return fmt.Errorf("farm: unknown node %q", node)
+	}
+	moves := map[int]int{}
+	switch info.Role {
+	case "frontend":
+		moves[1] = FrontVLAN(di)
+		moves[2] = BackVLAN(di)
+	case "backend":
+		moves[1] = BackVLAN(di)
+	default:
+		return fmt.Errorf("farm: node %q (role %s) is not movable", node, info.Role)
+	}
+	c.MoveNode(node, moves, func(err error) {
+		if err == nil {
+			info.Domain = toDomain
+			_ = f.DB.SetNodeDomain(node, toDomain)
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+	return nil
+}
+
+// AdapterIPs lists every daemon-managed adapter in the farm.
+func (f *Farm) AdapterIPs() []transport.IP {
+	var out []transport.IP
+	for _, name := range f.order {
+		out = append(out, f.Nodes[name].Adapters...)
+	}
+	return out
+}
+
+// SegmentOf exposes the fabric's current view for assertions.
+func (f *Farm) SegmentOf(ip transport.IP) (string, bool) { return f.Fabric.SegmentOf(ip) }

@@ -1,0 +1,491 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/central"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/netsim"
+)
+
+// fastSpec builds a small farm with quick protocol timers.
+func fastSpec(seed int64) Spec {
+	cfg := core.DefaultConfig()
+	cfg.BeaconPhase = 2 * time.Second
+	cfg.BeaconInterval = 500 * time.Millisecond
+	cfg.LeaderBeaconInterval = 1 * time.Second
+	cfg.StableWait = 1 * time.Second
+	cfg.DeferTimeout = 3 * time.Second
+	cfg.DetectorParams.Interval = 500 * time.Millisecond
+	cfg.OrphanTimeout = 6 * time.Second
+	cfg.ConsensusWindow = 1 * time.Second
+
+	cc := central.DefaultConfig()
+	cc.StabilizeWait = 3 * time.Second
+
+	return Spec{
+		Seed:         seed,
+		Core:         cfg,
+		Central:      cc,
+		StartSkew:    1 * time.Second,
+		RecordEvents: true,
+	}
+}
+
+func TestUniformFarmStabilizes(t *testing.T) {
+	spec := fastSpec(1)
+	spec.UniformNodes = 8
+	spec.UniformAdapters = 3
+	spec.AdminNodes = 2
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	at, ok := f.RunUntilStable(60 * time.Second)
+	if !ok {
+		t.Fatal("farm never stabilized")
+	}
+	if at <= 0 || at > 30*time.Second {
+		t.Fatalf("stabilized at %v", at)
+	}
+	c := f.ActiveCentral()
+	// 3 segments: admin, vlan-11, vlan-12.
+	if got := c.GroupCount(); got != 3 {
+		t.Fatalf("central tracks %d groups, want 3: %v", got, c.Groups())
+	}
+	total := 0
+	for _, members := range c.Groups() {
+		total += len(members)
+	}
+	// 8 uniform x 3 + 2 admin x 1 = 26 adapters.
+	if total != 26 {
+		t.Fatalf("central sees %d adapters, want 26", total)
+	}
+}
+
+func TestDomainFarmTopology(t *testing.T) {
+	spec := fastSpec(2)
+	spec.AdminNodes = 2
+	spec.Domains = []DomainSpec{
+		{Name: "acme", FrontEnds: 2, BackEnds: 3},
+		{Name: "globex", FrontEnds: 2, BackEnds: 2},
+	}
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(90 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	c := f.ActiveCentral()
+	// Segments: admin + 2 per domain = 5.
+	if got := c.GroupCount(); got != 5 {
+		t.Fatalf("central tracks %d groups, want 5: %v", got, c.Groups())
+	}
+	// Verification against the database must be clean.
+	if ms := c.Verify(); len(ms) != 0 {
+		t.Fatalf("clean farm verification found: %v", ms)
+	}
+	// Domain isolation: front-end VLANs of different domains are separate
+	// segments.
+	fe0 := f.Nodes["acme-fe-00"].Adapters[1]
+	fe1 := f.Nodes["globex-fe-00"].Adapters[1]
+	s0, _ := f.SegmentOf(fe0)
+	s1, _ := f.SegmentOf(fe1)
+	if s0 == s1 {
+		t.Fatal("domains share a front-end segment")
+	}
+}
+
+func TestNodeFailureCorrelation(t *testing.T) {
+	spec := fastSpec(3)
+	spec.AdminNodes = 2
+	spec.Domains = []DomainSpec{{Name: "acme", FrontEnds: 3, BackEnds: 3}}
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(60 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	victim := "acme-fe-01"
+	if err := f.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(40 * time.Second)
+
+	c := f.ActiveCentral()
+	if c.NodeAlive(victim) {
+		t.Fatal("central did not infer node failure")
+	}
+	nodeFails := f.Bus.Filter(event.NodeFailed)
+	found := false
+	for _, e := range nodeFails {
+		if e.Node == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no NodeFailed event for %s (events: %v)", victim, nodeFails)
+	}
+	// All three of the victim's adapters must be marked dead.
+	for _, ip := range f.Nodes[victim].Adapters {
+		alive, known := c.AdapterAlive(ip)
+		if !known || alive {
+			t.Fatalf("adapter %v alive=%v known=%v", ip, alive, known)
+		}
+	}
+	// Recovery.
+	if err := f.RestartNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(40 * time.Second)
+	if !c.NodeAlive(victim) {
+		t.Fatal("central did not see node recovery")
+	}
+	if f.Bus.Count(event.NodeRecovered) == 0 {
+		t.Fatal("no NodeRecovered event")
+	}
+}
+
+func TestSwitchFailureCorrelation(t *testing.T) {
+	spec := fastSpec(4)
+	spec.AdminNodes = 2
+	spec.UniformNodes = 8
+	spec.UniformAdapters = 2
+	spec.NodesPerSwitch = 5 // forces 2 switches
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(60 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	// Kill the switch that does NOT host the active central's node.
+	c := f.ActiveCentral()
+	centralSwitch := ""
+	for _, name := range f.order {
+		if f.Daemons[name].HostingCentral() {
+			centralSwitch = f.Nodes[name].Switch
+		}
+	}
+	victim := "sw-00"
+	if centralSwitch == "sw-00" {
+		victim = "sw-01"
+	}
+	if err := f.KillSwitch(victim); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(60 * time.Second)
+	fails := f.Bus.Filter(event.SwitchFailed)
+	found := false
+	for _, e := range fails {
+		if e.Node == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no SwitchFailed event for %s (got %v)", victim, fails)
+	}
+	// Restore.
+	if err := f.RestoreSwitch(victim); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(60 * time.Second)
+	if f.Bus.Count(event.SwitchRecovered) == 0 {
+		t.Fatal("no SwitchRecovered event")
+	}
+	_ = c
+}
+
+func TestDomainMoveEndToEnd(t *testing.T) {
+	spec := fastSpec(5)
+	spec.AdminNodes = 2
+	spec.Domains = []DomainSpec{
+		{Name: "acme", FrontEnds: 2, BackEnds: 3},
+		{Name: "globex", FrontEnds: 2, BackEnds: 3},
+	}
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(90 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+
+	mover := "acme-be-02"
+	var moveErr error
+	moved := false
+	if err := f.MoveNodeToDomain(mover, "globex", func(err error) { moveErr, moved = err, true }); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(90 * time.Second)
+	if !moved || moveErr != nil {
+		t.Fatalf("move done=%v err=%v", moved, moveErr)
+	}
+	// The back-end adapter must now sit in globex's back VLAN segment.
+	be := f.Nodes[mover].Adapters[1]
+	seg, ok := f.SegmentOf(be)
+	if !ok || seg != "vlan-103" {
+		t.Fatalf("moved adapter segment = %q", seg)
+	}
+	// Central must have inferred an (expected) move...
+	moves := f.Bus.Filter(event.NodeMoved)
+	foundExpected := false
+	for _, e := range moves {
+		if e.Adapter == be && !e.Suppressed {
+			foundExpected = true
+			if e.Detail != "expected (central-initiated)" {
+				t.Fatalf("move detail = %q", e.Detail)
+			}
+		}
+	}
+	if !foundExpected {
+		t.Fatalf("no NodeMoved event for %v (moves: %v)", be, moves)
+	}
+	// ...and the departure's failure notification must be suppressed.
+	suppressed := false
+	for _, e := range f.Bus.Filter(event.AdapterFailed) {
+		if e.Adapter == be && e.Suppressed {
+			suppressed = true
+		}
+		if e.Adapter == be && !e.Suppressed {
+			t.Fatal("move produced an unsuppressed failure notification")
+		}
+	}
+	if !suppressed {
+		t.Fatal("no suppressed failure for the moved adapter")
+	}
+	// The database now expects the new VLAN, so verification stays clean.
+	if ms := f.ActiveCentral().Verify(); len(ms) != 0 {
+		t.Fatalf("post-move verification found: %v", ms)
+	}
+}
+
+func TestUnexpectedMoveFlagged(t *testing.T) {
+	spec := fastSpec(6)
+	spec.AdminNodes = 2
+	spec.Domains = []DomainSpec{
+		{Name: "acme", FrontEnds: 2, BackEnds: 2},
+		{Name: "globex", FrontEnds: 2, BackEnds: 2},
+	}
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(90 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	// Rogue VLAN rewrite directly on the switch (not via Central).
+	be := f.Nodes["acme-be-01"].Adapters[1]
+	sw, port, _ := f.Fabric.Locate(be)
+	if err := sw.SetPortVLAN(port, 103); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(90 * time.Second)
+	foundUnexpected := false
+	for _, e := range f.Bus.Filter(event.NodeMoved) {
+		if e.Adapter == be && e.Detail == "UNEXPECTED" {
+			foundUnexpected = true
+		}
+	}
+	if !foundUnexpected {
+		t.Fatalf("unexpected move not inferred (moves: %v)", f.Bus.Filter(event.NodeMoved))
+	}
+	// And the failure notification must NOT have been suppressed.
+	unsuppressed := false
+	for _, e := range f.Bus.Filter(event.AdapterFailed) {
+		if e.Adapter == be && !e.Suppressed {
+			unsuppressed = true
+		}
+	}
+	if !unsuppressed {
+		t.Fatal("rogue move's failure notification was wrongly suppressed")
+	}
+	// Verification should flag the wrong segment too.
+	if ms := f.ActiveCentral().Verify(); len(ms) == 0 {
+		t.Fatal("verification found nothing after rogue move")
+	}
+}
+
+func TestCentralFailoverRebuildsView(t *testing.T) {
+	spec := fastSpec(7)
+	spec.AdminNodes = 3
+	spec.UniformNodes = 5
+	spec.UniformAdapters = 2
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(60 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	var hostName string
+	for _, name := range f.order {
+		if f.Daemons[name].HostingCentral() {
+			hostName = name
+		}
+	}
+	if hostName == "" {
+		t.Fatal("nobody hosts central")
+	}
+	before := f.ActiveCentral()
+	groupsBefore := len(before.Groups())
+
+	if err := f.KillNode(hostName); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.RunUntilStable(120 * time.Second); !ok {
+		t.Fatal("no stability after central failover")
+	}
+	after := f.ActiveCentral()
+	if after == nil || after == before {
+		t.Fatal("central did not move")
+	}
+	if f.Bus.Count(event.CentralElected) < 2 {
+		t.Fatal("no second CentralElected event")
+	}
+	if got := len(after.Groups()); got != groupsBefore {
+		t.Fatalf("rebuilt view has %d groups, want %d", got, groupsBefore)
+	}
+}
+
+func TestVerifyDetectsSeededMismatch(t *testing.T) {
+	spec := fastSpec(8)
+	spec.AdminNodes = 2
+	spec.UniformNodes = 4
+	spec.UniformAdapters = 2
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the database: one adapter's expected VLAN is wrong.
+	victim := f.Nodes["node-002"].Adapters[1]
+	if err := f.DB.SetExpectedVLAN(victim, 999); err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(60 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	ms := f.ActiveCentral().Verify()
+	if len(ms) == 0 {
+		t.Fatal("seeded mismatch not found")
+	}
+	hit := false
+	for _, m := range ms {
+		if m.Adapter == victim {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("findings %v miss victim %v", ms, victim)
+	}
+	if f.Bus.Count(event.VerifyMismatch) == 0 {
+		t.Fatal("no VerifyMismatch events published")
+	}
+}
+
+func TestDisableConflictsActuallyDisables(t *testing.T) {
+	spec := fastSpec(9)
+	spec.AdminNodes = 2
+	spec.UniformNodes = 4
+	spec.UniformAdapters = 3 // vlan-11 and vlan-12 both populated
+	spec.Central.DisableConflicts = true
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(60 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	// Rogue-move an adapter so verification sees WrongSegment.
+	victim := f.Nodes["node-001"].Adapters[1]
+	sw, port, _ := f.Fabric.Locate(victim)
+	if err := sw.SetPortVLAN(port, 12); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(60 * time.Second)
+	f.ActiveCentral().Verify()
+	f.RunFor(30 * time.Second)
+	if f.Bus.Count(event.AdapterDisabled) == 0 {
+		t.Fatal("conflicting adapter was not disabled")
+	}
+	// The daemon must have silenced the adapter.
+	if _, live := f.Daemons["node-001"].View(victim); live {
+		t.Fatal("disabled adapter still in a group")
+	}
+}
+
+func TestFailRecvAdapterDetectedWithoutFalseBlame(t *testing.T) {
+	spec := fastSpec(10)
+	spec.AdminNodes = 6
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(60 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	victim := f.Nodes["mgmt-03"].Adapters[0]
+	if err := f.FailAdapter(victim, netsim.FailRecv); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(60 * time.Second)
+	// Exactly the broken adapter must be reported failed; the loopback
+	// test prevents it blaming its healthy neighbor (paper §3 flaw #1).
+	for _, e := range f.Bus.Filter(event.AdapterFailed) {
+		if e.Adapter != victim {
+			t.Fatalf("healthy adapter %v reported failed", e.Adapter)
+		}
+	}
+	alive, known := f.ActiveCentral().AdapterAlive(victim)
+	if !known || alive {
+		t.Fatalf("receive-dead adapter alive=%v known=%v", alive, known)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Spec{Seed: 1}); err == nil {
+		t.Fatal("zero-node farm built")
+	}
+}
+
+func TestEventLogDeterminism(t *testing.T) {
+	run := func() []string {
+		spec := fastSpec(11)
+		spec.AdminNodes = 2
+		spec.UniformNodes = 4
+		f, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Start()
+		f.RunFor(30 * time.Second)
+		var out []string
+		for _, e := range f.Bus.Log() {
+			out = append(out, e.String())
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}

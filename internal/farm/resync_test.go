@@ -1,0 +1,108 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// The fast-Central-restart hole: the Central host crashes and comes back
+// before any other daemon commits a view without it. Nobody observes a
+// leadership change, so nobody would re-report — and the steady state is
+// silent. The reborn Central must PULL the topology with its multicast
+// resync request.
+func TestFastCentralRestartResyncs(t *testing.T) {
+	spec := fastSpec(21)
+	spec.AdminNodes = 2
+	spec.UniformNodes = 6
+	spec.UniformAdapters = 3
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(60 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	var hostName string
+	for _, name := range f.order {
+		if f.Daemons[name].HostingCentral() {
+			hostName = name
+		}
+	}
+	groupsBefore := f.ActiveCentral().GroupCount()
+	adaptersBefore := 0
+	for _, ms := range f.ActiveCentral().Groups() {
+		adaptersBefore += len(ms)
+	}
+
+	// Kill and restart faster than failure detection (k*Th = 1.5s here).
+	if err := f.KillNode(hostName); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(500 * time.Millisecond)
+	if err := f.RestartNode(hostName); err != nil {
+		t.Fatal(err)
+	}
+	// Give the restarted daemon time to rediscover, reclaim the admin
+	// leadership (it is still the highest IP), and pull the topology.
+	f.RunFor(60 * time.Second)
+
+	c := f.ActiveCentral()
+	if c == nil {
+		t.Fatal("no active central after restart")
+	}
+	if got := c.GroupCount(); got != groupsBefore {
+		t.Fatalf("rebuilt view has %d groups, want %d: %v", got, groupsBefore, c.Groups())
+	}
+	total := 0
+	for _, ms := range c.Groups() {
+		total += len(ms)
+	}
+	if total != adaptersBefore {
+		t.Fatalf("rebuilt view has %d adapters, want %d: %v", total, adaptersBefore, c.Groups())
+	}
+	if ms := c.Verify(); len(ms) != 0 {
+		t.Fatalf("verification after resync: %v", ms)
+	}
+}
+
+// A member dropped from its group while unreachable must be evicted and
+// rejoin once it can communicate again — the stale-ring split-brain.
+func TestDroppedMemberEvictedAndRejoins(t *testing.T) {
+	spec := fastSpec(22)
+	spec.AdminNodes = 6
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(60 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	victim := f.Nodes["mgmt-02"].Adapters[0]
+	// Receive-dead long enough to be removed from the group, but the
+	// daemon keeps running with its stale view.
+	if err := f.FailAdapter(victim, netsim.FailRecv); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(20 * time.Second)
+	if v, _ := f.Daemons["mgmt-05"].View(f.Nodes["mgmt-05"].Adapters[0]); v.Contains(victim) {
+		t.Fatal("victim not removed while receive-dead")
+	}
+	// Heal the adapter: it still believes its stale view; the leader's
+	// evictions (triggered by its stray heartbeats) must fold it back in.
+	if err := f.FailAdapter(victim, netsim.Healthy); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(60 * time.Second)
+	v, ok := f.Daemons["mgmt-05"].View(f.Nodes["mgmt-05"].Adapters[0])
+	if !ok || !v.Contains(victim) || v.Size() != 6 {
+		t.Fatalf("victim never rejoined: %v", v)
+	}
+	vv, _ := f.Daemons["mgmt-02"].View(victim)
+	if !vv.Equal(v) {
+		t.Fatalf("victim's view diverges: %v vs %v", vv, v)
+	}
+}

@@ -1,0 +1,205 @@
+// Package metrics collects the measurements the paper's evaluation needs:
+// message and byte counts per protocol plane and per segment, and latency
+// samples with quantiles. A Registry taps directly into netsim traffic.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+// Plane names traffic classes by destination port.
+func Plane(port uint16) string {
+	switch port {
+	case transport.PortBeacon:
+		return "beacon"
+	case transport.PortMember:
+		return "membership"
+	case transport.PortHeartbeat:
+		return "heartbeat"
+	case transport.PortReport:
+		return "report"
+	case transport.PortSNMP:
+		return "snmp"
+	default:
+		return "other"
+	}
+}
+
+// Counter accumulates message and byte totals.
+type Counter struct {
+	Messages uint64
+	Bytes    uint64
+	Dropped  uint64
+}
+
+func (c *Counter) add(bytes, dropped int) {
+	c.Messages++
+	c.Bytes += uint64(bytes)
+	c.Dropped += uint64(dropped)
+}
+
+// Registry aggregates traffic counters. Not safe for concurrent use
+// (simulation is single-threaded).
+type Registry struct {
+	byPlane   map[string]*Counter
+	bySegment map[string]*Counter
+	total     Counter
+	since     time.Duration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byPlane:   make(map[string]*Counter),
+		bySegment: make(map[string]*Counter),
+	}
+}
+
+// Attach installs the registry as net's traffic tap.
+func (r *Registry) Attach(net *netsim.Network) {
+	net.Tap(r.Observe)
+}
+
+// Observe records one transmission trace.
+func (r *Registry) Observe(tr netsim.Trace) {
+	r.total.add(tr.Bytes, tr.Dropped)
+	p := Plane(tr.Dst.Port)
+	c := r.byPlane[p]
+	if c == nil {
+		c = &Counter{}
+		r.byPlane[p] = c
+	}
+	c.add(tr.Bytes, tr.Dropped)
+	s := r.bySegment[tr.Segment]
+	if s == nil {
+		s = &Counter{}
+		r.bySegment[tr.Segment] = s
+	}
+	s.add(tr.Bytes, tr.Dropped)
+}
+
+// Reset zeroes all counters and marks the window start.
+func (r *Registry) Reset(now time.Duration) {
+	r.byPlane = make(map[string]*Counter)
+	r.bySegment = make(map[string]*Counter)
+	r.total = Counter{}
+	r.since = now
+}
+
+// Total returns the all-traffic counter.
+func (r *Registry) Total() Counter { return r.total }
+
+// PlaneCounter returns the counter for a protocol plane (zero if unseen).
+func (r *Registry) PlaneCounter(plane string) Counter {
+	if c := r.byPlane[plane]; c != nil {
+		return *c
+	}
+	return Counter{}
+}
+
+// SegmentCounter returns the counter for a segment (zero if unseen).
+func (r *Registry) SegmentCounter(seg string) Counter {
+	if c := r.bySegment[seg]; c != nil {
+		return *c
+	}
+	return Counter{}
+}
+
+// Rate converts a message count to messages/second over the window ending
+// at now.
+func (r *Registry) Rate(messages uint64, now time.Duration) float64 {
+	w := now - r.since
+	if w <= 0 {
+		return 0
+	}
+	return float64(messages) / w.Seconds()
+}
+
+// Summary renders all planes in name order, for experiment output.
+func (r *Registry) Summary() string {
+	names := make([]string, 0, len(r.byPlane))
+	for n := range r.byPlane {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		c := r.byPlane[n]
+		fmt.Fprintf(&b, "%-12s %8d msgs %10d bytes %6d dropped\n", n, c.Messages, c.Bytes, c.Dropped)
+	}
+	return b.String()
+}
+
+// Latencies collects duration samples and reports order statistics.
+type Latencies struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (l *Latencies) Add(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// N returns the sample count.
+func (l *Latencies) N() int { return len(l.samples) }
+
+func (l *Latencies) sortSamples() {
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+}
+
+// Quantile returns the q-th (0..1) order statistic, 0 with no samples.
+func (l *Latencies) Quantile(q float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sortSamples()
+	idx := int(q * float64(len(l.samples)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
+}
+
+// Mean returns the arithmetic mean, 0 with no samples.
+func (l *Latencies) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Max returns the largest sample.
+func (l *Latencies) Max() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sortSamples()
+	return l.samples[len(l.samples)-1]
+}
+
+// Min returns the smallest sample.
+func (l *Latencies) Min() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sortSamples()
+	return l.samples[0]
+}

@@ -1,0 +1,394 @@
+// Package netsim simulates an IP-over-switched-Ethernet network for
+// GulfStream: adapters attached to broadcast segments, UDP-like unicast and
+// multicast with configurable loss and latency, and adapter failure modes
+// (fail-stop, receive-dead, send-dead — the paper's §3 discusses exactly
+// the receive-dead case and why it requires a loopback self-test).
+//
+// Which adapters share a segment is not decided here: a SegmentResolver —
+// in practice the switch fabric in internal/switchsim — maps each adapter
+// to a segment, so VLAN reconfiguration moves adapters between segments
+// without netsim noticing anything but a version bump.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// SegmentResolver maps adapters to broadcast segments. Implementations
+// must bump Version whenever any mapping changes so the network can
+// invalidate its segment-membership cache.
+type SegmentResolver interface {
+	// SegmentOf returns the segment the adapter is attached to, and false
+	// if the adapter currently has no connectivity (port down, switch
+	// dead, unknown adapter).
+	SegmentOf(ip transport.IP) (string, bool)
+	// Version increments on every topology change.
+	Version() uint64
+}
+
+// LinkProfile describes delivery quality on a segment. Loss is the
+// independent per-receiver drop probability in [0,1]; latency of a packet
+// is Latency plus a uniform draw from [0, Jitter).
+type LinkProfile struct {
+	Loss    float64
+	Latency time.Duration
+	Jitter  time.Duration
+}
+
+// FailureMode enumerates the ways an adapter can be broken.
+type FailureMode int
+
+const (
+	// Healthy: adapter sends and receives normally.
+	Healthy FailureMode = iota
+	// FailStop: adapter neither sends nor receives (powered off, cable cut).
+	FailStop
+	// FailRecv: adapter transmits but hears nothing — the paper's "fails
+	// in such a way that it ceases to receive messages" case, which a
+	// naive ring detector misblames on the left neighbor.
+	FailRecv
+	// FailSend: adapter receives but its transmissions vanish.
+	FailSend
+)
+
+func (m FailureMode) String() string {
+	switch m {
+	case Healthy:
+		return "healthy"
+	case FailStop:
+		return "fail-stop"
+	case FailRecv:
+		return "fail-recv"
+	case FailSend:
+		return "fail-send"
+	default:
+		return fmt.Sprintf("FailureMode(%d)", int(m))
+	}
+}
+
+// Trace describes one transmission attempt, for metrics and debugging.
+type Trace struct {
+	Time      time.Duration
+	Src       transport.IP
+	Dst       transport.Addr
+	Segment   string
+	Bytes     int
+	Multicast bool
+	Receivers int // copies actually delivered (post-loss)
+	Dropped   int // copies lost to the loss model
+}
+
+// Network is the simulated fabric. It is driven entirely by the
+// scheduler's event loop and is not safe for concurrent use.
+type Network struct {
+	sched    *sim.Scheduler
+	resolver SegmentResolver
+
+	adapters map[transport.IP]*Adapter
+	order    []transport.IP // sorted, for deterministic iteration
+
+	defaultProfile LinkProfile
+	segProfiles    map[string]LinkProfile
+
+	// segment-membership cache, invalidated on resolver version change
+	cacheVersion uint64
+	segMembers   map[string][]*Adapter
+
+	tap func(Trace)
+}
+
+// New creates a network on the given scheduler with the resolver deciding
+// segment membership.
+func New(sched *sim.Scheduler, resolver SegmentResolver) *Network {
+	return &Network{
+		sched:          sched,
+		resolver:       resolver,
+		adapters:       make(map[transport.IP]*Adapter),
+		defaultProfile: LinkProfile{Latency: 200 * time.Microsecond, Jitter: 300 * time.Microsecond},
+		segProfiles:    make(map[string]LinkProfile),
+		cacheVersion:   ^uint64(0),
+	}
+}
+
+// Scheduler returns the scheduler driving this network.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// SetDefaultProfile sets the link profile used by segments without an
+// override.
+func (n *Network) SetDefaultProfile(p LinkProfile) { n.defaultProfile = p }
+
+// SetSegmentProfile overrides the link profile for one segment.
+func (n *Network) SetSegmentProfile(segment string, p LinkProfile) {
+	n.segProfiles[segment] = p
+}
+
+// Tap installs fn to observe every transmission attempt. A nil fn removes
+// the tap.
+func (n *Network) Tap(fn func(Trace)) { n.tap = fn }
+
+func (n *Network) profileFor(segment string) LinkProfile {
+	if p, ok := n.segProfiles[segment]; ok {
+		return p
+	}
+	return n.defaultProfile
+}
+
+// AddAdapter creates and attaches an adapter with the given address,
+// owned by the named node. It panics on duplicate addresses: farm
+// construction is programmer-controlled and a duplicate is always a bug.
+func (n *Network) AddAdapter(ip transport.IP, node string) *Adapter {
+	if _, dup := n.adapters[ip]; dup {
+		panic(fmt.Sprintf("netsim: duplicate adapter %v", ip))
+	}
+	a := &Adapter{
+		net:      n,
+		ip:       ip,
+		node:     node,
+		bindings: make(map[uint16]transport.Handler),
+		groups:   make(map[transport.Addr]bool),
+	}
+	n.adapters[ip] = a
+	i := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= ip })
+	n.order = append(n.order, 0)
+	copy(n.order[i+1:], n.order[i:])
+	n.order[i] = ip
+	n.invalidate()
+	return a
+}
+
+// Adapter returns the adapter with the given address, or nil.
+func (n *Network) Adapter(ip transport.IP) *Adapter { return n.adapters[ip] }
+
+// Adapters returns all adapters in ascending IP order.
+func (n *Network) Adapters() []*Adapter {
+	out := make([]*Adapter, 0, len(n.order))
+	for _, ip := range n.order {
+		out = append(out, n.adapters[ip])
+	}
+	return out
+}
+
+func (n *Network) invalidate() { n.cacheVersion = ^uint64(0) }
+
+// members returns the adapters currently attached to segment, rebuilding
+// the cache if the resolver's topology version moved.
+func (n *Network) members(segment string) []*Adapter {
+	if v := n.resolver.Version(); v != n.cacheVersion || n.segMembers == nil {
+		n.segMembers = make(map[string][]*Adapter)
+		for _, ip := range n.order {
+			if seg, ok := n.resolver.SegmentOf(ip); ok {
+				n.segMembers[seg] = append(n.segMembers[seg], n.adapters[ip])
+			}
+		}
+		n.cacheVersion = v
+	}
+	return n.segMembers[segment]
+}
+
+// SegmentMembers lists the addresses attached to segment, ascending.
+func (n *Network) SegmentMembers(segment string) []transport.IP {
+	ms := n.members(segment)
+	out := make([]transport.IP, len(ms))
+	for i, a := range ms {
+		out[i] = a.ip
+	}
+	return out
+}
+
+// latency draws one delivery latency for the profile.
+func (n *Network) latency(p LinkProfile) time.Duration {
+	d := p.Latency
+	if p.Jitter > 0 {
+		d += time.Duration(n.sched.Rand().Int63n(int64(p.Jitter)))
+	}
+	return d
+}
+
+func (n *Network) lost(p LinkProfile) bool {
+	return p.Loss > 0 && n.sched.Rand().Float64() < p.Loss
+}
+
+// deliver schedules the arrival of payload at dst's handler for port.
+func (n *Network) deliver(dst *Adapter, src, to transport.Addr, payload []byte, after time.Duration) {
+	pkt := append([]byte(nil), payload...)
+	n.sched.AfterFunc(after, func() {
+		if !dst.canReceive() {
+			return
+		}
+		h := dst.bindings[to.Port]
+		if h == nil {
+			return
+		}
+		h(src, to, pkt)
+	})
+}
+
+// Adapter is one simulated network interface; it implements
+// transport.Endpoint and transport.Liveness.
+type Adapter struct {
+	net      *Network
+	ip       transport.IP
+	node     string
+	mode     FailureMode
+	bindings map[uint16]transport.Handler
+	groups   map[transport.Addr]bool
+}
+
+var (
+	_ transport.Endpoint = (*Adapter)(nil)
+	_ transport.Liveness = (*Adapter)(nil)
+)
+
+// LocalIP returns the adapter's address.
+func (a *Adapter) LocalIP() transport.IP { return a.ip }
+
+// Node returns the owning node's identifier.
+func (a *Adapter) Node() string { return a.node }
+
+// Mode returns the adapter's current failure mode.
+func (a *Adapter) Mode() FailureMode { return a.mode }
+
+// SetMode sets the adapter's failure mode.
+func (a *Adapter) SetMode(m FailureMode) { a.mode = m }
+
+// Up reports whether the adapter is fully healthy. Partially failed
+// adapters (FailRecv/FailSend) are not "up": the loopback test catches
+// them, as the paper requires.
+func (a *Adapter) Up() bool { return a.mode == Healthy }
+
+func (a *Adapter) canSend() bool    { return a.mode == Healthy || a.mode == FailRecv }
+func (a *Adapter) canReceive() bool { return a.mode == Healthy || a.mode == FailSend }
+
+// Loopback self-tests the adapter's send+receive path.
+func (a *Adapter) Loopback() bool {
+	if !(a.canSend() && a.canReceive()) {
+		return false
+	}
+	_, connected := a.net.resolver.SegmentOf(a.ip)
+	return connected
+}
+
+// Bind registers h on port; nil unbinds.
+func (a *Adapter) Bind(port uint16, h transport.Handler) {
+	if h == nil {
+		delete(a.bindings, port)
+		return
+	}
+	a.bindings[port] = h
+}
+
+// JoinGroup subscribes to multicast group traffic on port.
+func (a *Adapter) JoinGroup(group transport.IP, port uint16) {
+	a.groups[transport.Addr{IP: group, Port: port}] = true
+}
+
+// LeaveGroup removes a multicast subscription.
+func (a *Adapter) LeaveGroup(group transport.IP, port uint16) {
+	delete(a.groups, transport.Addr{IP: group, Port: port})
+}
+
+// ErrAdapterDown is returned from send operations on a dead interface.
+var ErrAdapterDown = fmt.Errorf("netsim: adapter cannot transmit")
+
+// ErrNoSegment is returned when the sending adapter has no connectivity.
+var ErrNoSegment = fmt.Errorf("netsim: adapter not attached to any segment")
+
+// Unicast sends payload to dst if dst shares the sender's segment.
+// Cross-segment sends vanish silently (there are no routers between
+// GulfStream segments, per the paper's network assumptions); only local
+// conditions produce an error.
+func (a *Adapter) Unicast(srcPort uint16, dst transport.Addr, payload []byte) error {
+	if !a.canSend() {
+		return ErrAdapterDown
+	}
+	seg, ok := a.net.resolver.SegmentOf(a.ip)
+	if !ok {
+		return ErrNoSegment
+	}
+	src := transport.Addr{IP: a.ip, Port: srcPort}
+	tr := Trace{Time: a.net.sched.Now(), Src: a.ip, Dst: dst, Segment: seg, Bytes: len(payload)}
+	target := a.net.adapters[dst.IP]
+	if target != nil {
+		if tseg, tok := a.net.resolver.SegmentOf(dst.IP); tok && tseg == seg {
+			p := a.net.profileFor(seg)
+			if a.net.lost(p) {
+				tr.Dropped = 1
+			} else {
+				tr.Receivers = 1
+				a.net.deliver(target, src, dst, payload, a.net.latency(p))
+			}
+		}
+	}
+	if a.net.tap != nil {
+		a.net.tap(tr)
+	}
+	return nil
+}
+
+// Multicast sends payload to every subscribed adapter on the sender's
+// segment, excluding the sender itself.
+func (a *Adapter) Multicast(srcPort uint16, group transport.Addr, payload []byte) error {
+	if !a.canSend() {
+		return ErrAdapterDown
+	}
+	seg, ok := a.net.resolver.SegmentOf(a.ip)
+	if !ok {
+		return ErrNoSegment
+	}
+	src := transport.Addr{IP: a.ip, Port: srcPort}
+	p := a.net.profileFor(seg)
+	tr := Trace{Time: a.net.sched.Now(), Src: a.ip, Dst: group, Segment: seg, Bytes: len(payload), Multicast: true}
+	for _, m := range a.net.members(seg) {
+		if m == a || !m.groups[group] {
+			continue
+		}
+		if a.net.lost(p) {
+			tr.Dropped++
+			continue
+		}
+		tr.Receivers++
+		a.net.deliver(m, src, group, payload, a.net.latency(p))
+	}
+	if a.net.tap != nil {
+		a.net.tap(tr)
+	}
+	return nil
+}
+
+// StaticResolver is a trivial SegmentResolver backed by a map, for tests
+// and single-segment experiments that need no switch fabric.
+type StaticResolver struct {
+	seg     map[transport.IP]string
+	version uint64
+}
+
+// NewStaticResolver returns an empty resolver.
+func NewStaticResolver() *StaticResolver {
+	return &StaticResolver{seg: make(map[transport.IP]string), version: 1}
+}
+
+// Attach maps an adapter to a segment (replacing any previous mapping).
+func (r *StaticResolver) Attach(ip transport.IP, segment string) {
+	r.seg[ip] = segment
+	r.version++
+}
+
+// Detach removes an adapter's connectivity entirely.
+func (r *StaticResolver) Detach(ip transport.IP) {
+	delete(r.seg, ip)
+	r.version++
+}
+
+// SegmentOf implements SegmentResolver.
+func (r *StaticResolver) SegmentOf(ip transport.IP) (string, bool) {
+	s, ok := r.seg[ip]
+	return s, ok
+}
+
+// Version implements SegmentResolver.
+func (r *StaticResolver) Version() uint64 { return r.version }

@@ -1,0 +1,182 @@
+// Package sim provides a deterministic discrete-event scheduler and a
+// virtual clock. All GulfStream simulations run on top of this kernel:
+// every daemon, switch and network link schedules its work as events on a
+// single queue, so a run is exactly reproducible given a seed and executes
+// thousands of simulated seconds per wall second.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. Events fire in (time, sequence) order;
+// the sequence number makes simultaneous events deterministic (FIFO).
+type event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a single-threaded discrete-event executor with a virtual
+// clock. It is not safe for concurrent use: all events run on the caller's
+// goroutine, which is the point — determinism.
+type Scheduler struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventQueue
+	rng    *rand.Rand
+	fired  uint64
+	halted bool
+}
+
+// NewScheduler returns a scheduler whose clock starts at zero and whose
+// random source is seeded with seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (duration since simulation start).
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source. All simulated
+// components must draw randomness from here so runs replay exactly.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired reports how many events have executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are queued.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Timer is a handle to a scheduled event, with the same Stop contract as
+// time.Timer: Stop reports whether the call prevented the event from firing.
+type Timer struct {
+	ev *event
+	s  *Scheduler
+}
+
+// Stop cancels the timer. It returns false if the event already fired or
+// was already stopped.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&t.s.queue, t.ev.index)
+	t.ev.index = -1
+	t.ev.fn = nil
+	return true
+}
+
+// AfterFunc schedules fn to run d from now. Negative d is treated as zero.
+func (s *Scheduler) AfterFunc(d time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: AfterFunc with nil function")
+	}
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: s.now + d, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev, s: s}
+}
+
+// At schedules fn at absolute virtual time at. Times in the past run
+// immediately (at the current instant).
+func (s *Scheduler) At(at time.Duration, fn func()) *Timer {
+	return s.AfterFunc(at-s.now, fn)
+}
+
+// Step executes the single earliest event. It reports false when the queue
+// is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	s.fired++
+	if fn != nil {
+		fn()
+	}
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (s *Scheduler) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline. Events scheduled at exactly the deadline do run.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	s.halted = false
+	for !s.halted && len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// RunWhile executes events while cond() is true and events remain. It is
+// the primitive behind "run until the farm is stable" style loops; cond is
+// evaluated before each event.
+func (s *Scheduler) RunWhile(cond func() bool) {
+	s.halted = false
+	for !s.halted && len(s.queue) > 0 && cond() {
+		s.Step()
+	}
+}
+
+// Halt stops Run/RunUntil/RunWhile after the current event returns.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// String describes the scheduler state, for debugging.
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("sim.Scheduler{now=%v pending=%d fired=%d}", s.now, len(s.queue), s.fired)
+}

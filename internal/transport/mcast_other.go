@@ -1,0 +1,15 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd
+
+package transport
+
+import (
+	"net"
+	"syscall"
+)
+
+// setMulticastInterface is a no-op on platforms without the unix
+// IP_MULTICAST_IF socket option path; the default multicast route is used.
+func setMulticastInterface(_ *net.UDPConn, _ net.IP) error { return nil }
+
+// reuseControl is a no-op on platforms without SO_REUSEADDR handling here.
+func reuseControl(_, _ string, _ syscall.RawConn) error { return nil }

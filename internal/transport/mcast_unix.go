@@ -1,0 +1,49 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package transport
+
+import (
+	"net"
+	"syscall"
+)
+
+// reuseControl marks sockets SO_REUSEADDR so a unicast socket on
+// (adapterIP, port) can coexist with the multicast group socket bound to
+// the same port.
+func reuseControl(_, _ string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}
+
+// setMulticastInterface pins a UDP socket's outgoing multicast interface
+// to the one carrying local, so that multicast sent from an adapter
+// address actually egresses (and loops back) on that adapter's interface.
+// Without this the kernel uses the default multicast route, and daemons
+// bound to secondary addresses (e.g. several 127.0.0.x on loopback) never
+// hear each other's beacons.
+func setMulticastInterface(conn *net.UDPConn, local net.IP) error {
+	v4 := local.To4()
+	if v4 == nil {
+		return nil
+	}
+	raw, err := conn.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var addr [4]byte
+	copy(addr[:], v4)
+	var serr error
+	cerr := raw.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInet4Addr(int(fd), syscall.IPPROTO_IP, syscall.IP_MULTICAST_IF, addr)
+	})
+	if cerr != nil {
+		return cerr
+	}
+	return serr
+}

@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeIPString(t *testing.T) {
+	cases := []struct {
+		a, b, c, d byte
+		want       string
+	}{
+		{10, 0, 0, 1, "10.0.0.1"},
+		{192, 168, 255, 254, "192.168.255.254"},
+		{0, 0, 0, 0, "0.0.0.0"},
+		{255, 255, 255, 255, "255.255.255.255"},
+	}
+	for _, c := range cases {
+		if got := MakeIP(c.a, c.b, c.c, c.d).String(); got != c.want {
+			t.Errorf("MakeIP(%d,%d,%d,%d) = %q, want %q", c.a, c.b, c.c, c.d, got, c.want)
+		}
+	}
+}
+
+func TestParseIP(t *testing.T) {
+	good := map[string]IP{
+		"10.0.0.1":    MakeIP(10, 0, 0, 1),
+		"224.0.0.71":  MakeIP(224, 0, 0, 71),
+		"255.0.255.0": MakeIP(255, 0, 255, 0),
+	}
+	for s, want := range good {
+		got, ok := ParseIP(s)
+		if !ok || got != want {
+			t.Errorf("ParseIP(%q) = %v,%v; want %v,true", s, got, ok, want)
+		}
+	}
+	bad := []string{"", "10.0.0", "10.0.0.256", "a.b.c.d", "-1.0.0.0"}
+	for _, s := range bad {
+		if _, ok := ParseIP(s); ok {
+			t.Errorf("ParseIP(%q) succeeded, want failure", s)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IP(v)
+		back, ok := ParseIP(ip.String())
+		return ok && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsMulticast(t *testing.T) {
+	if !BeaconGroup.IsMulticast() {
+		t.Error("BeaconGroup must be multicast")
+	}
+	if MakeIP(10, 0, 0, 1).IsMulticast() {
+		t.Error("10.0.0.1 must not be multicast")
+	}
+	if !MakeIP(239, 255, 255, 255).IsMulticast() {
+		t.Error("239.255.255.255 must be multicast")
+	}
+	if MakeIP(240, 0, 0, 1).IsMulticast() {
+		t.Error("240.0.0.1 must not be multicast (class E)")
+	}
+}
+
+func TestIPOrderingMatchesNumeric(t *testing.T) {
+	// Leader election depends on numeric ordering: 10.0.1.0 > 10.0.0.255.
+	lo := MakeIP(10, 0, 0, 255)
+	hi := MakeIP(10, 0, 1, 0)
+	if !(hi > lo) {
+		t.Errorf("expected %v > %v", hi, lo)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{IP: MakeIP(10, 0, 0, 1), Port: 7400}
+	if a.String() != "10.0.0.1:7400" {
+		t.Errorf("Addr.String() = %q", a.String())
+	}
+}

@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// listenUDPReuse opens a UDP socket with SO_REUSEADDR, letting unicast
+// per-adapter sockets share a port number with the multicast group socket.
+func listenUDPReuse(ip net.IP, port int) (*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: reuseControl}
+	pc, err := lc.ListenPacket(context.Background(), "udp4",
+		(&net.UDPAddr{IP: ip, Port: port}).String())
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}
+
+// Runtime drives event-driven GulfStream components (the daemon, Central)
+// over real time and real sockets. All socket reads and timer firings are
+// serialized onto one goroutine — the same single-threaded discipline the
+// simulator provides — so protocol code needs no locking.
+type Runtime struct {
+	events chan func()
+	start  time.Time
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewRuntime returns an idle runtime; call Run (or RunAsync) to start
+// dispatching.
+func NewRuntime() *Runtime {
+	return &Runtime{events: make(chan func(), 1024), start: time.Now()}
+}
+
+// Now implements Clock: time since the runtime was created.
+func (r *Runtime) Now() time.Duration { return time.Since(r.start) }
+
+// AfterFunc implements Clock. The callback is serialized onto the event
+// loop.
+func (r *Runtime) AfterFunc(d time.Duration, fn func()) Timer {
+	t := &udpTimer{}
+	t.t = time.AfterFunc(d, func() {
+		r.post(func() {
+			t.mu.Lock()
+			fired := t.stopped
+			t.mu.Unlock()
+			if !fired {
+				fn()
+			}
+		})
+	})
+	return t
+}
+
+type udpTimer struct {
+	t       *time.Timer
+	mu      sync.Mutex
+	stopped bool
+}
+
+func (t *udpTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	return t.t.Stop()
+}
+
+// Post enqueues fn onto the event loop, serialized with all socket and
+// timer callbacks — the only safe way for outside goroutines to touch
+// event-driven components (daemons, Central) owned by this runtime.
+func (r *Runtime) Post(fn func()) { r.post(fn) }
+
+// post enqueues fn for the event loop; drops it if the runtime is closed.
+func (r *Runtime) post(fn func()) {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return
+	}
+	select {
+	case r.events <- fn:
+	default:
+		// Back-pressure: block rather than drop protocol events.
+		r.events <- fn
+	}
+}
+
+// Run dispatches events until Close.
+func (r *Runtime) Run() {
+	for fn := range r.events {
+		if fn == nil {
+			return
+		}
+		fn()
+	}
+}
+
+// RunAsync starts Run on its own goroutine.
+func (r *Runtime) RunAsync() { go r.Run() }
+
+// Close stops the loop and all endpoint sockets created from it.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.events <- nil
+	r.wg.Wait()
+}
+
+// UDPEndpoint implements Endpoint over real UDP sockets bound to one
+// local adapter address. Each bound GulfStream port gets its own socket;
+// multicast groups are joined per (group, port).
+type UDPEndpoint struct {
+	rt    *Runtime
+	ip    IP
+	ifi   *net.Interface // interface owning ip (for multicast), may be nil
+	local net.IP
+
+	mu       sync.Mutex
+	handlers map[uint16]Handler
+	socks    map[uint16]*net.UDPConn
+	msocks   map[Addr]*net.UDPConn
+	closed   bool
+}
+
+// NewUDPEndpoint creates an endpoint for the given local IPv4 address.
+func NewUDPEndpoint(rt *Runtime, ip IP) (*UDPEndpoint, error) {
+	local := net.IPv4(byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+	e := &UDPEndpoint{
+		rt:       rt,
+		ip:       ip,
+		local:    local,
+		handlers: make(map[uint16]Handler),
+		socks:    make(map[uint16]*net.UDPConn),
+		msocks:   make(map[Addr]*net.UDPConn),
+	}
+	e.ifi = interfaceFor(local)
+	return e, nil
+}
+
+// interfaceFor finds the network interface carrying addr: an exact
+// address match wins, otherwise subnet containment (secondary loopback
+// addresses like 127.0.0.2 live inside lo's 127.0.0.1/8 without being
+// listed explicitly).
+func interfaceFor(addr net.IP) *net.Interface {
+	ifaces, err := net.Interfaces()
+	if err != nil {
+		return nil
+	}
+	var bySubnet *net.Interface
+	for i := range ifaces {
+		addrs, err := ifaces[i].Addrs()
+		if err != nil {
+			continue
+		}
+		for _, a := range addrs {
+			ipn, ok := a.(*net.IPNet)
+			if !ok {
+				continue
+			}
+			if ipn.IP.Equal(addr) {
+				return &ifaces[i]
+			}
+			if bySubnet == nil && ipn.Contains(addr) {
+				bySubnet = &ifaces[i]
+			}
+		}
+	}
+	return bySubnet
+}
+
+// LocalIP implements Endpoint.
+func (e *UDPEndpoint) LocalIP() IP { return e.ip }
+
+// Bind implements Endpoint: it opens a UDP socket on (localIP, port) and
+// dispatches arriving packets through the runtime's event loop.
+func (e *UDPEndpoint) Bind(port uint16, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if h == nil {
+		delete(e.handlers, port)
+		if c, ok := e.socks[port]; ok {
+			c.Close()
+			delete(e.socks, port)
+		}
+		return
+	}
+	e.handlers[port] = h
+	if _, ok := e.socks[port]; ok {
+		return
+	}
+	conn, err := listenUDPReuse(e.local, int(port))
+	if err != nil {
+		return // adapter address not configured; sends will fail too
+	}
+	_ = setMulticastInterface(conn, e.local)
+	e.socks[port] = conn
+	e.readLoop(conn, port)
+}
+
+// readLoop pumps one socket into the event loop.
+func (e *UDPEndpoint) readLoop(conn *net.UDPConn, port uint16) {
+	e.rt.wg.Add(1)
+	go func() {
+		defer e.rt.wg.Done()
+		buf := make([]byte, 64*1024)
+		for {
+			n, src, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			pkt := make([]byte, n)
+			copy(pkt, buf[:n])
+			srcIP := ipFrom(src.IP)
+			if srcIP == e.ip && src.Port == int(port) {
+				continue // our own multicast loopback
+			}
+			e.rt.post(func() {
+				e.mu.Lock()
+				h := e.handlers[port]
+				e.mu.Unlock()
+				if h != nil {
+					h(Addr{IP: srcIP, Port: uint16(src.Port)}, Addr{IP: e.ip, Port: port}, pkt)
+				}
+			})
+		}
+	}()
+}
+
+func ipFrom(ip net.IP) IP {
+	v4 := ip.To4()
+	if v4 == nil {
+		return 0
+	}
+	return MakeIP(v4[0], v4[1], v4[2], v4[3])
+}
+
+// JoinGroup implements Endpoint: listens on the multicast group address.
+func (e *UDPEndpoint) JoinGroup(group IP, port uint16) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := Addr{IP: group, Port: port}
+	if _, ok := e.msocks[key]; ok {
+		return
+	}
+	gaddr := &net.UDPAddr{
+		IP:   net.IPv4(byte(group>>24), byte(group>>16), byte(group>>8), byte(group)),
+		Port: int(port),
+	}
+	conn, err := net.ListenMulticastUDP("udp4", e.ifi, gaddr)
+	if err != nil {
+		return
+	}
+	e.msocks[key] = conn
+	e.readLoop(conn, port)
+}
+
+func (e *UDPEndpoint) conn(srcPort uint16) (*net.UDPConn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("transport: endpoint closed")
+	}
+	if c, ok := e.socks[srcPort]; ok {
+		return c, nil
+	}
+	conn, err := listenUDPReuse(e.local, int(srcPort))
+	if err != nil {
+		return nil, err
+	}
+	_ = setMulticastInterface(conn, e.local)
+	e.socks[srcPort] = conn
+	e.readLoop(conn, srcPort)
+	return conn, nil
+}
+
+// Unicast implements Endpoint.
+func (e *UDPEndpoint) Unicast(srcPort uint16, dst Addr, payload []byte) error {
+	conn, err := e.conn(srcPort)
+	if err != nil {
+		return err
+	}
+	_, err = conn.WriteToUDP(payload, &net.UDPAddr{
+		IP:   net.IPv4(byte(dst.IP>>24), byte(dst.IP>>16), byte(dst.IP>>8), byte(dst.IP)),
+		Port: int(dst.Port),
+	})
+	return err
+}
+
+// Multicast implements Endpoint.
+func (e *UDPEndpoint) Multicast(srcPort uint16, group Addr, payload []byte) error {
+	return e.Unicast(srcPort, group, payload)
+}
+
+// Loopback implements Endpoint: the adapter passes if its interface is up.
+func (e *UDPEndpoint) Loopback() bool {
+	if e.ifi == nil {
+		// Re-resolve: the interface may have come up since creation.
+		e.ifi = interfaceFor(e.local)
+		if e.ifi == nil {
+			return false
+		}
+	}
+	ifi, err := net.InterfaceByIndex(e.ifi.Index)
+	if err != nil {
+		return false
+	}
+	return ifi.Flags&net.FlagUp != 0
+}
+
+// Close shuts every socket.
+func (e *UDPEndpoint) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	for _, c := range e.socks {
+		c.Close()
+	}
+	for _, c := range e.msocks {
+		c.Close()
+	}
+	e.socks = map[uint16]*net.UDPConn{}
+	e.msocks = map[Addr]*net.UDPConn{}
+}

@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// loopbackAvailable checks we can bind UDP on 127.0.0.1 in this sandbox.
+func loopbackAvailable(t *testing.T) {
+	t.Helper()
+	c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+	if err != nil {
+		t.Skipf("no loopback UDP in this environment: %v", err)
+	}
+	c.Close()
+}
+
+func TestRuntimeClock(t *testing.T) {
+	rt := NewRuntime()
+	rt.RunAsync()
+	defer rt.Close()
+	if rt.Now() < 0 {
+		t.Fatal("negative Now")
+	}
+	fired := make(chan struct{})
+	rt.AfterFunc(10*time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestRuntimeTimerStop(t *testing.T) {
+	rt := NewRuntime()
+	rt.RunAsync()
+	defer rt.Close()
+	fired := make(chan struct{}, 1)
+	tm := rt.AfterFunc(50*time.Millisecond, func() { fired <- struct{}{} })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false before firing")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	select {
+	case <-fired:
+		t.Fatal("stopped timer fired")
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+func TestRuntimeSerializesCallbacks(t *testing.T) {
+	rt := NewRuntime()
+	rt.RunAsync()
+	defer rt.Close()
+	counter := 0
+	done := make(chan int)
+	// 100 concurrent posts must execute serially (no data race on counter,
+	// which go test -race would catch).
+	for i := 0; i < 100; i++ {
+		rt.post(func() {
+			counter++
+			if counter == 100 {
+				done <- counter
+			}
+		})
+	}
+	select {
+	case n := <-done:
+		if n != 100 {
+			t.Fatalf("counter = %d", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("callbacks never drained")
+	}
+}
+
+func TestUDPUnicastLoopback(t *testing.T) {
+	loopbackAvailable(t)
+	rt := NewRuntime()
+	rt.RunAsync()
+	defer rt.Close()
+
+	lo := MakeIP(127, 0, 0, 1)
+	a, err := NewUDPEndpoint(rt, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	got := make(chan []byte, 1)
+	// Use high ports to avoid clashes with anything local.
+	a.Bind(47401, func(src, dst Addr, payload []byte) {
+		got <- append([]byte(nil), payload...)
+	})
+	if err := a.Unicast(47402, Addr{IP: lo, Port: 47401}, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if string(p) != "hello" {
+			t.Fatalf("payload = %q", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("packet never arrived")
+	}
+}
+
+func TestUDPLoopbackSelfTest(t *testing.T) {
+	loopbackAvailable(t)
+	rt := NewRuntime()
+	rt.RunAsync()
+	defer rt.Close()
+	lo := MakeIP(127, 0, 0, 1)
+	e, err := NewUDPEndpoint(rt, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if !e.Loopback() {
+		t.Skip("loopback interface not detectable in this environment")
+	}
+}
+
+func TestUDPBindNilUnbinds(t *testing.T) {
+	loopbackAvailable(t)
+	rt := NewRuntime()
+	rt.RunAsync()
+	defer rt.Close()
+	lo := MakeIP(127, 0, 0, 1)
+	a, err := NewUDPEndpoint(rt, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	got := make(chan struct{}, 4)
+	a.Bind(47411, func(_, _ Addr, _ []byte) { got <- struct{}{} })
+	a.Bind(47411, nil) // unbind closes the socket
+	b, err := NewUDPEndpoint(rt, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	_ = b.Unicast(47412, Addr{IP: lo, Port: 47411}, []byte("x"))
+	select {
+	case <-got:
+		t.Fatal("unbound handler fired")
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+func TestUDPClosedEndpointErrors(t *testing.T) {
+	loopbackAvailable(t)
+	rt := NewRuntime()
+	rt.RunAsync()
+	defer rt.Close()
+	lo := MakeIP(127, 0, 0, 1)
+	e, err := NewUDPEndpoint(rt, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if err := e.Unicast(47421, Addr{IP: lo, Port: 47422}, []byte("x")); err == nil {
+		t.Fatal("send on closed endpoint succeeded")
+	}
+}

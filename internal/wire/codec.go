@@ -1,0 +1,465 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// enc is an append-style binary writer (big-endian).
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) u8(v byte)   { e.buf = append(e.buf, v) }
+func (e *enc) bool(v bool) { e.u8(map[bool]byte{false: 0, true: 1}[v]) }
+
+func (e *enc) u16(v uint16) { e.buf = append(e.buf, byte(v>>8), byte(v)) }
+
+func (e *enc) u32(v uint32) {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func (e *enc) u64(v uint64) {
+	e.u32(uint32(v >> 32))
+	e.u32(uint32(v))
+}
+
+func (e *enc) ip(v transport.IP) { e.u32(uint32(v)) }
+
+func (e *enc) str(s string) {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) member(m Member) {
+	e.ip(m.IP)
+	e.str(m.Node)
+	e.u8(m.Index)
+	e.bool(m.Admin)
+}
+
+func (e *enc) members(ms []Member) {
+	e.u16(uint16(len(ms)))
+	for _, m := range ms {
+		e.member(m)
+	}
+}
+
+func (e *enc) ips(ips []transport.IP) {
+	e.u16(uint16(len(ips)))
+	for _, ip := range ips {
+		e.ip(ip)
+	}
+}
+
+// dec is a sticky-error binary reader.
+type dec struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: reading %s at %d", ErrShort, what, d.pos)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+1 > len(d.buf) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *dec) bool() bool { return d.u8() != 0 }
+
+func (d *dec) u16() uint16 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+2 > len(d.buf) {
+		d.fail("u16")
+		return 0
+	}
+	v := uint16(d.buf[d.pos])<<8 | uint16(d.buf[d.pos+1])
+	d.pos += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+4 > len(d.buf) {
+		d.fail("u32")
+		return 0
+	}
+	v := uint32(d.buf[d.pos])<<24 | uint32(d.buf[d.pos+1])<<16 |
+		uint32(d.buf[d.pos+2])<<8 | uint32(d.buf[d.pos+3])
+	d.pos += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	hi := uint64(d.u32())
+	return hi<<32 | uint64(d.u32())
+}
+
+func (d *dec) ip() transport.IP { return transport.IP(d.u32()) }
+
+func (d *dec) str() string {
+	n := int(d.u16())
+	if d.err != nil {
+		return ""
+	}
+	if d.pos+n > len(d.buf) {
+		d.fail("string body")
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *dec) member() Member {
+	var m Member
+	m.IP = d.ip()
+	m.Node = d.str()
+	m.Index = d.u8()
+	m.Admin = d.bool()
+	return m
+}
+
+func (d *dec) members() []Member {
+	n := int(d.u16())
+	if d.err != nil {
+		return nil
+	}
+	// Each member is at least 8 bytes; bound allocation by what can fit.
+	if n > (len(d.buf)-d.pos)/8+1 {
+		d.fail("member count")
+		return nil
+	}
+	ms := make([]Member, 0, n)
+	for i := 0; i < n; i++ {
+		ms = append(ms, d.member())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return ms
+}
+
+func (d *dec) ips() []transport.IP {
+	n := int(d.u16())
+	if d.err != nil {
+		return nil
+	}
+	if n > (len(d.buf)-d.pos)/4+1 {
+		d.fail("ip count")
+		return nil
+	}
+	out := make([]transport.IP, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.ip())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// --- per-message marshalling ---
+
+func (m *Beacon) marshal(e *enc) {
+	e.ip(m.Sender)
+	e.str(m.Node)
+	e.u32(m.Incarnation)
+	e.ip(m.Leader)
+	e.u64(m.Version)
+	e.u32(m.Members)
+	e.bool(m.Admin)
+}
+
+func (m *Beacon) unmarshal(d *dec) {
+	m.Sender = d.ip()
+	m.Node = d.str()
+	m.Incarnation = d.u32()
+	m.Leader = d.ip()
+	m.Version = d.u64()
+	m.Members = d.u32()
+	m.Admin = d.bool()
+}
+
+func (m *Prepare) marshal(e *enc) {
+	e.ip(m.Leader)
+	e.u64(m.Version)
+	e.u64(m.Token)
+	e.u8(byte(m.Op))
+	e.members(m.Members)
+}
+
+func (m *Prepare) unmarshal(d *dec) {
+	m.Leader = d.ip()
+	m.Version = d.u64()
+	m.Token = d.u64()
+	m.Op = Op(d.u8())
+	m.Members = d.members()
+}
+
+func (m *PrepareAck) marshal(e *enc) {
+	e.ip(m.From)
+	e.ip(m.Leader)
+	e.u64(m.Version)
+	e.u64(m.Token)
+	e.bool(m.OK)
+}
+
+func (m *PrepareAck) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Leader = d.ip()
+	m.Version = d.u64()
+	m.Token = d.u64()
+	m.OK = d.bool()
+}
+
+func (m *Commit) marshal(e *enc) {
+	e.ip(m.Leader)
+	e.u64(m.Version)
+	e.u64(m.Token)
+	e.members(m.Members)
+}
+
+func (m *Commit) unmarshal(d *dec) {
+	m.Leader = d.ip()
+	m.Version = d.u64()
+	m.Token = d.u64()
+	m.Members = d.members()
+}
+
+func (m *Abort) marshal(e *enc) {
+	e.ip(m.Leader)
+	e.u64(m.Version)
+	e.u64(m.Token)
+}
+
+func (m *Abort) unmarshal(d *dec) {
+	m.Leader = d.ip()
+	m.Version = d.u64()
+	m.Token = d.u64()
+}
+
+func (m *JoinRequest) marshal(e *enc) {
+	e.ip(m.From)
+	e.str(m.Node)
+	e.u8(m.Index)
+	e.bool(m.Admin)
+	e.u32(m.Incarnation)
+}
+
+func (m *JoinRequest) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Node = d.str()
+	m.Index = d.u8()
+	m.Admin = d.bool()
+	m.Incarnation = d.u32()
+}
+
+func (m *MergeOffer) marshal(e *enc) {
+	e.ip(m.From)
+	e.u64(m.Version)
+	e.members(m.Members)
+}
+
+func (m *MergeOffer) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Version = d.u64()
+	m.Members = d.members()
+}
+
+func (m *Heartbeat) marshal(e *enc) {
+	e.ip(m.From)
+	e.u64(m.Seq)
+	e.u64(m.Version)
+	e.ip(m.Leader)
+}
+
+func (m *Heartbeat) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Seq = d.u64()
+	m.Version = d.u64()
+	m.Leader = d.ip()
+}
+
+func (m *Suspect) marshal(e *enc) {
+	e.ip(m.Reporter)
+	e.ip(m.Suspect)
+	e.u64(m.Version)
+	e.u8(byte(m.Reason))
+}
+
+func (m *Suspect) unmarshal(d *dec) {
+	m.Reporter = d.ip()
+	m.Suspect = d.ip()
+	m.Version = d.u64()
+	m.Reason = SuspectReason(d.u8())
+}
+
+func (m *Probe) marshal(e *enc) {
+	e.ip(m.From)
+	e.u64(m.Nonce)
+}
+
+func (m *Probe) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Nonce = d.u64()
+}
+
+func (m *ProbeAck) marshal(e *enc) {
+	e.ip(m.From)
+	e.u64(m.Nonce)
+	e.ip(m.Leader)
+	e.u64(m.Version)
+}
+
+func (m *ProbeAck) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Nonce = d.u64()
+	m.Leader = d.ip()
+	m.Version = d.u64()
+}
+
+func (m *Ping) marshal(e *enc) {
+	e.ip(m.From)
+	e.u64(m.Nonce)
+	e.ip(m.Leader)
+}
+
+func (m *Ping) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Nonce = d.u64()
+	m.Leader = d.ip()
+}
+
+func (m *PingAck) marshal(e *enc) {
+	e.ip(m.From)
+	e.ip(m.Target)
+	e.u64(m.Nonce)
+}
+
+func (m *PingAck) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Target = d.ip()
+	m.Nonce = d.u64()
+}
+
+func (m *PingReq) marshal(e *enc) {
+	e.ip(m.From)
+	e.ip(m.Target)
+	e.u64(m.Nonce)
+}
+
+func (m *PingReq) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Target = d.ip()
+	m.Nonce = d.u64()
+}
+
+func (m *Report) marshal(e *enc) {
+	e.ip(m.Leader)
+	e.str(m.Segment)
+	e.u64(m.Version)
+	e.u64(m.Seq)
+	e.bool(m.Full)
+	e.ip(m.PrevLeader)
+	e.u64(m.PrevVersion)
+	e.bool(m.Fresh)
+	e.members(m.Members)
+	e.ips(m.Left)
+}
+
+func (m *Report) unmarshal(d *dec) {
+	m.Leader = d.ip()
+	m.Segment = d.str()
+	m.Version = d.u64()
+	m.Seq = d.u64()
+	m.Full = d.bool()
+	m.PrevLeader = d.ip()
+	m.PrevVersion = d.u64()
+	m.Fresh = d.bool()
+	m.Members = d.members()
+	m.Left = d.ips()
+}
+
+func (m *ReportAck) marshal(e *enc) {
+	e.ip(m.From)
+	e.u64(m.Seq)
+}
+
+func (m *ReportAck) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Seq = d.u64()
+}
+
+func (m *Disable) marshal(e *enc) {
+	e.ip(m.Target)
+	e.str(m.Reason)
+}
+
+func (m *Disable) unmarshal(d *dec) {
+	m.Target = d.ip()
+	m.Reason = d.str()
+}
+
+func (m *SubPoll) marshal(e *enc) {
+	e.ip(m.From)
+	e.u32(m.Subgroup)
+	e.u64(m.Nonce)
+}
+
+func (m *SubPoll) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Subgroup = d.u32()
+	m.Nonce = d.u64()
+}
+
+func (m *SubPollAck) marshal(e *enc) {
+	e.ip(m.From)
+	e.u32(m.Subgroup)
+	e.u64(m.Nonce)
+	e.u32(m.Alive)
+}
+
+func (m *SubPollAck) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Subgroup = d.u32()
+	m.Nonce = d.u64()
+	m.Alive = d.u32()
+}
+
+func (m *Evict) marshal(e *enc) {
+	e.ip(m.Leader)
+	e.ip(m.Target)
+	e.u64(m.Version)
+}
+
+func (m *Evict) unmarshal(d *dec) {
+	m.Leader = d.ip()
+	m.Target = d.ip()
+	m.Version = d.u64()
+}
+
+func (m *ResyncRequest) marshal(e *enc) { e.ip(m.From) }
+
+func (m *ResyncRequest) unmarshal(d *dec) { m.From = d.ip() }

@@ -1,0 +1,517 @@
+// Package wire defines the GulfStream on-the-wire protocol: every message
+// the daemons, detectors and GulfStream Central exchange, with a compact
+// versioned binary codec. The same bytes flow through the simulator and
+// the real UDP transport.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// codecVersion is the first byte of every packet.
+const codecVersion = 1
+
+// Type identifies a message.
+type Type byte
+
+// Message types.
+const (
+	TBeacon Type = iota + 1
+	TPrepare
+	TPrepareAck
+	TCommit
+	TAbort
+	TJoinRequest
+	TMergeOffer
+	THeartbeat
+	TSuspect
+	TProbe
+	TProbeAck
+	TPing
+	TPingAck
+	TPingReq
+	TReport
+	TReportAck
+	TDisable
+	TSubPoll
+	TSubPollAck
+	TEvict
+	TResync
+	tMax
+)
+
+var typeNames = [...]string{
+	TBeacon:      "beacon",
+	TPrepare:     "prepare",
+	TPrepareAck:  "prepare-ack",
+	TCommit:      "commit",
+	TAbort:       "abort",
+	TJoinRequest: "join-request",
+	TMergeOffer:  "merge-offer",
+	THeartbeat:   "heartbeat",
+	TSuspect:     "suspect",
+	TProbe:       "probe",
+	TProbeAck:    "probe-ack",
+	TPing:        "ping",
+	TPingAck:     "ping-ack",
+	TPingReq:     "ping-req",
+	TReport:      "report",
+	TReportAck:   "report-ack",
+	TDisable:     "disable",
+	TSubPoll:     "subpoll",
+	TSubPollAck:  "subpoll-ack",
+	TEvict:       "evict",
+	TResync:      "resync",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", byte(t))
+}
+
+// Errors returned by Decode.
+var (
+	ErrShort      = errors.New("wire: short packet")
+	ErrBadVersion = errors.New("wire: unknown codec version")
+	ErrBadType    = errors.New("wire: unknown message type")
+	ErrTrailing   = errors.New("wire: trailing bytes")
+)
+
+// Message is implemented by every wire message.
+type Message interface {
+	// Type returns the message's wire type.
+	Type() Type
+	marshal(e *enc)
+	unmarshal(d *dec)
+}
+
+// Member describes one adapter in an AMG membership list. The node name
+// travels with every membership so GulfStream Central can correlate
+// adapter state into node state without consulting the database.
+type Member struct {
+	IP    transport.IP
+	Node  string
+	Index uint8 // adapter index on its node; by convention 0 = administrative
+	Admin bool  // adapter claims to be on the administrative VLAN
+}
+
+func (m Member) String() string {
+	return fmt.Sprintf("%v(%s/%d)", m.IP, m.Node, m.Index)
+}
+
+// Beacon is multicast on the well-known group during discovery and, after
+// group formation, by AMG leaders only.
+type Beacon struct {
+	Sender      transport.IP
+	Node        string
+	Incarnation uint32       // bumps each daemon restart; stale-message guard
+	Leader      transport.IP // 0 while ungrouped; else the sender's AMG leader
+	Version     uint64       // AMG membership version (0 while ungrouped)
+	Members     uint32       // current AMG size, advisory
+	Admin       bool         // sender is flagged as an administrative adapter
+}
+
+// Type implements Message.
+func (*Beacon) Type() Type { return TBeacon }
+
+// Op distinguishes why a 2PC membership change is happening (diagnostics
+// and metrics; the protocol treats all the same).
+type Op byte
+
+// Membership-change operations.
+const (
+	OpForm Op = iota + 1
+	OpJoin
+	OpMerge
+	OpRemove
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpForm:
+		return "form"
+	case OpJoin:
+		return "join"
+	case OpMerge:
+		return "merge"
+	case OpRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+// Prepare is phase one of the membership two-phase commit. The ordered
+// member list doubles as the heartbeat ring layout and the leader
+// succession order (paper §2.1, §3).
+type Prepare struct {
+	Leader  transport.IP
+	Version uint64 // version this commit will establish
+	Token   uint64 // ties acks/commits to one 2PC round
+	Op      Op
+	Members []Member // descending-IP order; Members[0] is the leader
+}
+
+// Type implements Message.
+func (*Prepare) Type() Type { return TPrepare }
+
+// PrepareAck is a member's vote.
+type PrepareAck struct {
+	From    transport.IP
+	Leader  transport.IP
+	Version uint64
+	Token   uint64
+	OK      bool
+}
+
+// Type implements Message.
+func (*PrepareAck) Type() Type { return TPrepareAck }
+
+// Commit finalizes a prepared membership. It repeats the member list so a
+// member that missed the Prepare (or lost its pending state) can install
+// the view directly — the leader also uses this as a unicast "view
+// refresh" toward members it detects running a stale version.
+type Commit struct {
+	Leader  transport.IP
+	Version uint64
+	Token   uint64
+	Members []Member
+}
+
+// Type implements Message.
+func (*Commit) Type() Type { return TCommit }
+
+// Abort cancels a prepared membership.
+type Abort struct {
+	Leader  transport.IP
+	Version uint64
+	Token   uint64
+}
+
+// Type implements Message.
+func (*Abort) Type() Type { return TAbort }
+
+// JoinRequest is sent by an ungrouped adapter directly to a known leader
+// (it short-cuts waiting for the next leader beacon).
+type JoinRequest struct {
+	From        transport.IP
+	Node        string
+	Index       uint8
+	Admin       bool
+	Incarnation uint32
+}
+
+// Type implements Message.
+func (*JoinRequest) Type() Type { return TJoinRequest }
+
+// MergeOffer is sent by an AMG leader to a higher-IP AMG leader it heard
+// beaconing on its segment; the higher leader absorbs the offered members
+// (paper: "Merging AMGs are led by the AMG leader with the highest IP").
+type MergeOffer struct {
+	From    transport.IP
+	Version uint64
+	Members []Member
+}
+
+// Type implements Message.
+func (*MergeOffer) Type() Type { return TMergeOffer }
+
+// Heartbeat flows around the AMG ring. It carries the sender's view of
+// its group identity (leader + version): versions are per-lineage, so the
+// leader alone cannot expose a member stuck on a *different* group's view
+// — receivers compare leaders too.
+type Heartbeat struct {
+	From    transport.IP
+	Seq     uint64
+	Version uint64       // sender's view of the membership version
+	Leader  transport.IP // sender's view of its group leader
+}
+
+// Type implements Message.
+func (*Heartbeat) Type() Type { return THeartbeat }
+
+// SuspectReason explains a suspicion report.
+type SuspectReason byte
+
+// Suspicion reasons.
+const (
+	ReasonMissedHeartbeats SuspectReason = iota + 1
+	ReasonProbeTimeout
+	ReasonPingTimeout
+	ReasonSubgroupDead
+	// ReasonStaleView: the subject is alive but heartbeating under a
+	// different group identity — it missed a commit and needs a refresh,
+	// not a death verification.
+	ReasonStaleView
+)
+
+func (r SuspectReason) String() string {
+	switch r {
+	case ReasonMissedHeartbeats:
+		return "missed-heartbeats"
+	case ReasonProbeTimeout:
+		return "probe-timeout"
+	case ReasonPingTimeout:
+		return "ping-timeout"
+	case ReasonSubgroupDead:
+		return "subgroup-dead"
+	case ReasonStaleView:
+		return "stale-view"
+	default:
+		return fmt.Sprintf("SuspectReason(%d)", byte(r))
+	}
+}
+
+// Suspect reports a possibly-failed member to the AMG leader.
+type Suspect struct {
+	Reporter transport.IP
+	Suspect  transport.IP
+	Version  uint64
+	Reason   SuspectReason
+}
+
+// Type implements Message.
+func (*Suspect) Type() Type { return TSuspect }
+
+// Probe is the leader's direct are-you-alive check before it declares a
+// suspected member dead.
+type Probe struct {
+	From  transport.IP
+	Nonce uint64
+}
+
+// Type implements Message.
+func (*Probe) Type() Type { return TProbe }
+
+// ProbeAck answers a Probe. It carries the responder's current view of
+// its own membership (leader + version): a probe verifies liveness, and
+// this lets the prober additionally distinguish "alive in my group" from
+// "alive but following another leader" — a member that moved on.
+type ProbeAck struct {
+	From    transport.IP
+	Nonce   uint64
+	Leader  transport.IP // responder's current AMG leader (0 if ungrouped)
+	Version uint64
+}
+
+// Type implements Message.
+func (*ProbeAck) Type() Type { return TProbeAck }
+
+// Ping is the randomized-detector direct ping (paper §4.2, ref [9]). It
+// carries the sender's group identity for the same stale-view detection
+// as Heartbeat.
+type Ping struct {
+	From   transport.IP
+	Nonce  uint64
+	Leader transport.IP
+}
+
+// Type implements Message.
+func (*Ping) Type() Type { return TPing }
+
+// PingAck answers a Ping, possibly relayed via a PingReq proxy.
+type PingAck struct {
+	From   transport.IP // the pinged adapter
+	Target transport.IP // original requester (for proxied acks)
+	Nonce  uint64
+}
+
+// Type implements Message.
+func (*PingAck) Type() Type { return TPingAck }
+
+// PingReq asks a proxy to ping Target on the requester's behalf.
+type PingReq struct {
+	From   transport.IP
+	Target transport.IP
+	Nonce  uint64
+}
+
+// Type implements Message.
+func (*PingReq) Type() Type { return TPingReq }
+
+// Report carries an AMG membership delta from a group leader to
+// GulfStream Central; deltas keep the steady state silent (paper §2.2).
+// A report with Full=true carries the entire membership (sent on
+// leadership change and on Central's resync request, i.e. whenever Central
+// may have no baseline to apply deltas to).
+type Report struct {
+	Leader  transport.IP
+	Segment string // leader's local hint (adapter index class), advisory
+	Version uint64
+	Seq     uint64 // per-leader sequence for ack/retransmit
+	Full    bool
+	// PrevLeader, on a full report, names the group this leadership term
+	// supersedes: a successor that took over after verifying its leader's
+	// death sets it so Central can mark the departed (typically the dead
+	// leader) and rekey the group. Zero otherwise. PrevVersion carries the
+	// superseded view's version, disambiguating the reference when the
+	// same leader address has since started an unrelated group elsewhere
+	// (group keys are leader IPs; lineages are told apart by version).
+	PrevLeader  transport.IP
+	PrevVersion uint64
+	// Fresh, on a full report, marks a lineage break: the sender reformed
+	// after total isolation (it was moved or partitioned away) and knows
+	// nothing about its previous group's members. Central must not infer
+	// departures from any earlier group under this key.
+	Fresh   bool
+	Members []Member // full membership when Full, else joined members
+	Left    []transport.IP
+}
+
+// Type implements Message.
+func (*Report) Type() Type { return TReport }
+
+// ReportAck acknowledges a Report.
+type ReportAck struct {
+	From transport.IP
+	Seq  uint64
+}
+
+// Type implements Message.
+func (*ReportAck) Type() Type { return TReportAck }
+
+// Disable orders a daemon to administratively disable one of its adapters
+// (Central's response to a topology-verification conflict, paper §2.2).
+type Disable struct {
+	Target transport.IP
+	Reason string
+}
+
+// Type implements Message.
+func (*Disable) Type() Type { return TDisable }
+
+// SubPoll is the leader's low-frequency liveness poll of a subgroup
+// representative (paper §4.2's subgroup heartbeating scheme).
+type SubPoll struct {
+	From     transport.IP
+	Subgroup uint32
+	Nonce    uint64
+}
+
+// Type implements Message.
+func (*SubPoll) Type() Type { return TSubPoll }
+
+// SubPollAck answers a SubPoll with the subgroup's live count.
+type SubPollAck struct {
+	From     transport.IP
+	Subgroup uint32
+	Nonce    uint64
+	Alive    uint32
+}
+
+// Type implements Message.
+func (*SubPollAck) Type() Type { return TSubPollAck }
+
+// Evict tells a straggler it is not a member of the sender's group: sent
+// by a leader that keeps receiving heartbeat-plane traffic from an
+// adapter outside its committed view (a member it dropped while the
+// member was unreachable). The evicted adapter abandons its stale view
+// and rediscovers the segment, healing the split.
+type Evict struct {
+	Leader  transport.IP
+	Target  transport.IP
+	Version uint64 // the leader's current view version
+}
+
+// Type implements Message.
+func (*Evict) Type() Type { return TEvict }
+
+// ResyncRequest asks daemons to resend full membership reports for every
+// group they lead. A (re)activated GulfStream Central multicasts it on
+// the administrative segment: the steady state is deliberately silent, so
+// a Central that lost its state (fast restart, failover the daemons never
+// noticed) must *pull* — it cannot wait for traffic that will never come.
+type ResyncRequest struct {
+	From transport.IP
+}
+
+// Type implements Message.
+func (*ResyncRequest) Type() Type { return TResync }
+
+// newByType allocates the zero message for a wire type.
+func newByType(t Type) Message {
+	switch t {
+	case TBeacon:
+		return &Beacon{}
+	case TPrepare:
+		return &Prepare{}
+	case TPrepareAck:
+		return &PrepareAck{}
+	case TCommit:
+		return &Commit{}
+	case TAbort:
+		return &Abort{}
+	case TJoinRequest:
+		return &JoinRequest{}
+	case TMergeOffer:
+		return &MergeOffer{}
+	case THeartbeat:
+		return &Heartbeat{}
+	case TSuspect:
+		return &Suspect{}
+	case TProbe:
+		return &Probe{}
+	case TProbeAck:
+		return &ProbeAck{}
+	case TPing:
+		return &Ping{}
+	case TPingAck:
+		return &PingAck{}
+	case TPingReq:
+		return &PingReq{}
+	case TReport:
+		return &Report{}
+	case TReportAck:
+		return &ReportAck{}
+	case TDisable:
+		return &Disable{}
+	case TSubPoll:
+		return &SubPoll{}
+	case TSubPollAck:
+		return &SubPollAck{}
+	case TEvict:
+		return &Evict{}
+	case TResync:
+		return &ResyncRequest{}
+	default:
+		return nil
+	}
+}
+
+// Encode serializes a message, prefixed with version and type bytes.
+func Encode(m Message) []byte {
+	e := &enc{buf: make([]byte, 0, 64)}
+	e.u8(codecVersion)
+	e.u8(byte(m.Type()))
+	m.marshal(e)
+	return e.buf
+}
+
+// Decode parses one packet. All trailing garbage is rejected.
+func Decode(pkt []byte) (Message, error) {
+	if len(pkt) < 2 {
+		return nil, ErrShort
+	}
+	if pkt[0] != codecVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, pkt[0])
+	}
+	t := Type(pkt[1])
+	m := newByType(t)
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, pkt[1])
+	}
+	d := &dec{buf: pkt, pos: 2}
+	m.unmarshal(d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(pkt) {
+		return nil, ErrTrailing
+	}
+	return m, nil
+}

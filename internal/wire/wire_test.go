@@ -1,0 +1,277 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func ip4(a, b, c, d byte) transport.IP { return transport.MakeIP(a, b, c, d) }
+
+// sampleMessages returns one populated instance of every message type.
+func sampleMessages() []Message {
+	mem := []Member{
+		{IP: ip4(10, 0, 0, 9), Node: "web-09", Index: 1, Admin: false},
+		{IP: ip4(10, 0, 0, 3), Node: "web-03", Index: 0, Admin: true},
+	}
+	return []Message{
+		&Beacon{Sender: ip4(10, 0, 0, 1), Node: "web-01", Incarnation: 7, Leader: ip4(10, 0, 0, 9), Version: 12, Members: 5, Admin: true},
+		&Prepare{Leader: ip4(10, 0, 0, 9), Version: 13, Token: 0xdeadbeef, Op: OpJoin, Members: mem},
+		&PrepareAck{From: ip4(10, 0, 0, 3), Leader: ip4(10, 0, 0, 9), Version: 13, Token: 0xdeadbeef, OK: true},
+		&Commit{Leader: ip4(10, 0, 0, 9), Version: 13, Token: 0xdeadbeef, Members: mem},
+		&Abort{Leader: ip4(10, 0, 0, 9), Version: 13, Token: 42},
+		&JoinRequest{From: ip4(10, 0, 0, 4), Node: "web-04", Index: 2, Admin: false, Incarnation: 3},
+		&MergeOffer{From: ip4(10, 0, 0, 2), Version: 4, Members: mem},
+		&Heartbeat{From: ip4(10, 0, 0, 5), Seq: 991, Version: 13, Leader: ip4(10, 0, 0, 9)},
+		&Suspect{Reporter: ip4(10, 0, 0, 5), Suspect: ip4(10, 0, 0, 6), Version: 13, Reason: ReasonMissedHeartbeats},
+		&Probe{From: ip4(10, 0, 0, 9), Nonce: 555},
+		&ProbeAck{From: ip4(10, 0, 0, 6), Nonce: 555, Leader: ip4(10, 0, 0, 9), Version: 13},
+		&Evict{Leader: ip4(10, 0, 0, 9), Target: ip4(10, 0, 0, 2), Version: 14},
+		&ResyncRequest{From: ip4(10, 0, 1, 1)},
+		&Ping{From: ip4(10, 0, 0, 1), Nonce: 777, Leader: ip4(10, 0, 0, 9)},
+		&PingAck{From: ip4(10, 0, 0, 2), Target: ip4(10, 0, 0, 1), Nonce: 777},
+		&PingReq{From: ip4(10, 0, 0, 1), Target: ip4(10, 0, 0, 2), Nonce: 778},
+		&Report{Leader: ip4(10, 0, 0, 9), Segment: "vlan-100", Version: 13, Seq: 2, Full: true, PrevLeader: ip4(10, 0, 0, 11), PrevVersion: 12, Fresh: true, Members: mem, Left: []transport.IP{ip4(10, 0, 0, 8)}},
+		&ReportAck{From: ip4(10, 0, 1, 1), Seq: 2},
+		&Disable{Target: ip4(10, 0, 0, 8), Reason: "vlan mismatch vs configdb"},
+		&SubPoll{From: ip4(10, 0, 0, 9), Subgroup: 3, Nonce: 99},
+		&SubPollAck{From: ip4(10, 0, 0, 7), Subgroup: 3, Nonce: 99, Alive: 8},
+	}
+}
+
+func TestEveryTypeRoundTrips(t *testing.T) {
+	for _, m := range sampleMessages() {
+		pkt := Encode(m)
+		got, err := Decode(pkt)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Type(), err)
+		}
+		if got.Type() != m.Type() {
+			t.Fatalf("type mismatch: %v vs %v", got.Type(), m.Type())
+		}
+		norm(m)
+		norm(got)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v round trip:\n sent %#v\n got  %#v", m.Type(), m, got)
+		}
+	}
+}
+
+// norm maps empty slices to nil so DeepEqual compares semantics.
+func norm(m Message) {
+	switch v := m.(type) {
+	case *Prepare:
+		if len(v.Members) == 0 {
+			v.Members = nil
+		}
+	case *Commit:
+		if len(v.Members) == 0 {
+			v.Members = nil
+		}
+	case *MergeOffer:
+		if len(v.Members) == 0 {
+			v.Members = nil
+		}
+	case *Report:
+		if len(v.Members) == 0 {
+			v.Members = nil
+		}
+		if len(v.Left) == 0 {
+			v.Left = nil
+		}
+	}
+}
+
+func TestEmptyCollectionsRoundTrip(t *testing.T) {
+	msgs := []Message{
+		&Prepare{Leader: ip4(1, 2, 3, 4), Op: OpForm},
+		&Report{Leader: ip4(1, 2, 3, 4)},
+		&MergeOffer{From: ip4(1, 2, 3, 4)},
+	}
+	for _, m := range msgs {
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type(), err)
+		}
+		norm(m)
+		norm(got)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v: %#v vs %#v", m.Type(), m, got)
+		}
+	}
+}
+
+func TestSampleCoversAllTypes(t *testing.T) {
+	seen := map[Type]bool{}
+	for _, m := range sampleMessages() {
+		seen[m.Type()] = true
+	}
+	for ty := TBeacon; ty < tMax; ty++ {
+		if !seen[ty] {
+			t.Errorf("sampleMessages misses %v; round-trip coverage gap", ty)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil packet accepted")
+	}
+	if _, err := Decode([]byte{codecVersion}); err == nil {
+		t.Error("1-byte packet accepted")
+	}
+	if _, err := Decode([]byte{99, byte(TBeacon), 0, 0}); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := Decode([]byte{codecVersion, 0xEE, 0}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	good := Encode(&Heartbeat{From: ip4(1, 1, 1, 1), Seq: 1, Version: 1})
+	if _, err := Decode(append(good, 0xFF)); err != ErrTrailing {
+		t.Errorf("trailing byte: err = %v, want ErrTrailing", err)
+	}
+}
+
+func TestTruncationNeverSucceedsNorPanics(t *testing.T) {
+	for _, m := range sampleMessages() {
+		pkt := Encode(m)
+		for i := 2; i < len(pkt); i++ {
+			got, err := Decode(pkt[:i])
+			if err == nil {
+				t.Fatalf("%v: prefix len %d of %d decoded: %#v", m.Type(), i, len(pkt), got)
+			}
+		}
+	}
+}
+
+func TestRandomBytesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 20000; i++ {
+		b := make([]byte, rng.Intn(120))
+		rng.Read(b)
+		if len(b) >= 2 {
+			b[0] = codecVersion
+			b[1] = byte(1 + rng.Intn(int(tMax)))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %x: %v", b, r)
+				}
+			}()
+			_, _ = Decode(b)
+		}()
+	}
+}
+
+// Hostile member counts must not cause huge allocations.
+func TestHostileMemberCountBounded(t *testing.T) {
+	e := &enc{}
+	e.u8(codecVersion)
+	e.u8(byte(TPrepare))
+	e.ip(ip4(1, 1, 1, 1))
+	e.u64(1)
+	e.u64(1)
+	e.u8(byte(OpForm))
+	e.u16(0xffff) // claims 65535 members, then no bytes
+	if _, err := Decode(e.buf); err == nil {
+		t.Fatal("hostile member count accepted")
+	}
+}
+
+func TestLongStringTruncatedAtEncode(t *testing.T) {
+	long := make([]byte, 70000)
+	for i := range long {
+		long[i] = 'a'
+	}
+	m := &Disable{Target: ip4(1, 1, 1, 1), Reason: string(long)}
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.(*Disable).Reason) != 0xffff {
+		t.Fatalf("reason length = %d, want capped 65535", len(got.(*Disable).Reason))
+	}
+}
+
+func TestBigMembershipRoundTrip(t *testing.T) {
+	var mem []Member
+	for i := 0; i < 1000; i++ {
+		mem = append(mem, Member{
+			IP:    transport.MakeIP(10, 0, byte(i/250), byte(i%250+1)),
+			Node:  "node-xyz",
+			Index: byte(i % 3),
+			Admin: i%3 == 0,
+		})
+	}
+	m := &Prepare{Leader: mem[0].IP, Version: 9, Token: 11, Op: OpMerge, Members: mem}
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatal("1000-member prepare corrupted")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := TBeacon; ty < tMax; ty++ {
+		if s := ty.String(); s == "" || s[0] == 'T' {
+			t.Errorf("Type(%d).String() = %q", ty, s)
+		}
+	}
+	if Type(200).String() != "Type(200)" {
+		t.Error("unknown type string wrong")
+	}
+	for _, o := range []Op{OpForm, OpJoin, OpMerge, OpRemove} {
+		if o.String() == "" {
+			t.Error("empty Op string")
+		}
+	}
+	for _, r := range []SuspectReason{ReasonMissedHeartbeats, ReasonProbeTimeout, ReasonPingTimeout, ReasonSubgroupDead} {
+		if r.String() == "" {
+			t.Error("empty reason string")
+		}
+	}
+}
+
+func TestHeartbeatWireSize(t *testing.T) {
+	// Heartbeats dominate network load (paper §3); keep them tiny and
+	// catch accidental growth: ver+type+ip+seq+version+leader = 26 bytes.
+	pkt := Encode(&Heartbeat{From: ip4(1, 1, 1, 1), Seq: 1, Version: 1, Leader: ip4(1, 1, 1, 2)})
+	if len(pkt) != 26 {
+		t.Fatalf("heartbeat is %d bytes, want 26", len(pkt))
+	}
+}
+
+func BenchmarkEncodeHeartbeat(b *testing.B) {
+	m := &Heartbeat{From: ip4(10, 0, 0, 1), Seq: 1234, Version: 9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(m)
+	}
+}
+
+func BenchmarkDecodeHeartbeat(b *testing.B) {
+	pkt := Encode(&Heartbeat{From: ip4(10, 0, 0, 1), Seq: 1234, Version: 9})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodePrepare64(b *testing.B) {
+	var mem []Member
+	for i := 0; i < 64; i++ {
+		mem = append(mem, Member{IP: transport.MakeIP(10, 0, 0, byte(i+1)), Node: "n", Index: 0})
+	}
+	m := &Prepare{Leader: mem[0].IP, Version: 1, Token: 1, Op: OpForm, Members: mem}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(m)
+	}
+}

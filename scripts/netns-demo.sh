@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# netns-demo.sh — run real GulfStream daemons (cmd/gsd) on one Linux
+# machine, with network namespaces standing in for nodes and bridges for
+# VLAN segments, reproducing the paper's multi-domain farm on real UDP
+# multicast. Requires root (ip netns). Tested on Linux with iproute2.
+#
+#   sudo ./scripts/netns-demo.sh up      # build topology + start daemons
+#   sudo ./scripts/netns-demo.sh status  # tail each daemon's log
+#   sudo ./scripts/netns-demo.sh move    # move node web-3 acme -> globex
+#   sudo ./scripts/netns-demo.sh down    # tear everything down
+#
+# Topology (mirrors examples/webfarm, scaled down):
+#
+#   bridge gs-admin  10.1.0.0/24   administrative VLAN (all nodes)
+#   bridge gs-acme   10.2.0.0/24   domain acme's segment
+#   bridge gs-globex 10.3.0.0/24   domain globex's segment
+#
+#   netns web-1: admin 10.1.0.11 + acme   10.2.0.11
+#   netns web-2: admin 10.1.0.12 + acme   10.2.0.12
+#   netns web-3: admin 10.1.0.13 + acme   10.2.0.13   (the mover)
+#   netns web-4: admin 10.1.0.14 + globex 10.3.0.14
+#   netns web-5: admin 10.1.0.15 + globex 10.3.0.15
+#
+# A "VLAN move" is re-plugging web-3's data veth from gs-acme to
+# gs-globex and renumbering it — the namespace-world equivalent of the
+# SNMP port-VLAN rewrite GulfStream Central performs in simulation.
+
+set -euo pipefail
+
+BRIDGES=(gs-admin gs-acme gs-globex)
+NODES=(web-1 web-2 web-3 web-4 web-5)
+LOGDIR=${LOGDIR:-/tmp/gulfstream-netns}
+GSD=${GSD:-$(dirname "$0")/../bin/gsd}
+
+need_root() { [ "$(id -u)" = 0 ] || { echo "run as root (ip netns)"; exit 1; }; }
+
+build_gsd() {
+  if [ ! -x "$GSD" ]; then
+    echo "building gsd..."
+    (cd "$(dirname "$0")/.." && mkdir -p bin && go build -o bin/gsd ./cmd/gsd)
+  fi
+}
+
+mk_bridge() {
+  ip link add "$1" type bridge 2>/dev/null || true
+  ip link set "$1" up
+  # Bridges must forward multicast for BEACON discovery.
+  echo 0 > "/sys/class/net/$1/bridge/multicast_snooping" 2>/dev/null || true
+}
+
+# attach <ns> <bridge> <ifname> <addr/len>
+attach() {
+  local ns=$1 br=$2 ifn=$3 addr=$4
+  ip link add "v-$ns-$ifn" type veth peer name "$ifn" netns "$ns"
+  ip link set "v-$ns-$ifn" master "$br" up
+  ip netns exec "$ns" ip addr add "$addr" dev "$ifn"
+  ip netns exec "$ns" ip link set "$ifn" up multicast on
+  ip netns exec "$ns" ip link set lo up
+  # Multicast route so 224.0.0.71 beacons egress the right interface.
+  ip netns exec "$ns" ip route add 224.0.0.0/4 dev "$ifn" 2>/dev/null || true
+}
+
+node_addrs() { # node index -> "adminIP dataIP dataBridge"
+  local i=$1
+  case "$i" in
+    1|2|3) echo "10.1.0.1$i/24 10.2.0.1$i/24 gs-acme" ;;
+    4|5)   echo "10.1.0.1$i/24 10.3.0.1$i/24 gs-globex" ;;
+  esac
+}
+
+up() {
+  need_root; build_gsd
+  mkdir -p "$LOGDIR"
+  for b in "${BRIDGES[@]}"; do mk_bridge "$b"; done
+  local i=1
+  for n in "${NODES[@]}"; do
+    ip netns add "$n" 2>/dev/null || true
+    read -r admin data dbr < <(node_addrs "$i")
+    attach "$n" gs-admin eth0 "$admin"
+    attach "$n" "$dbr" eth1 "$data"
+    local adminIP=${admin%/*} dataIP=${data%/*}
+    echo "starting gsd in $n (admin $adminIP, data $dataIP)"
+    ip netns exec "$n" "$GSD" \
+      -node "$n" -adapters "$adminIP,$dataIP" \
+      -tb 5s -ts 5s -tgsc 15s \
+      > "$LOGDIR/$n.log" 2>&1 &
+    echo $! > "$LOGDIR/$n.pid"
+    i=$((i+1))
+  done
+  echo
+  echo "daemons up; after ~25s ($(printf 'Tb+Ts+Tgsc')) the admin leader's log"
+  echo "shows GulfStream Central's farm view. logs: $LOGDIR/*.log"
+}
+
+status() {
+  for n in "${NODES[@]}"; do
+    echo "=== $n ==="
+    tail -n 6 "$LOGDIR/$n.log" 2>/dev/null || echo "(no log)"
+  done
+}
+
+move() {
+  need_root
+  local ns=web-3
+  echo "moving $ns's data adapter acme -> globex (the §3.1 scenario)"
+  ip link del "v-$ns-eth1" 2>/dev/null || true
+  attach "$ns" gs-globex eth1 "10.3.0.13/24"
+  echo "watch $LOGDIR: the old AMG reports the departure, the new AMG the"
+  echo "join, and Central infers a (here: unexpected) domain move."
+}
+
+down() {
+  need_root
+  for n in "${NODES[@]}"; do
+    [ -f "$LOGDIR/$n.pid" ] && kill "$(cat "$LOGDIR/$n.pid")" 2>/dev/null || true
+    ip netns del "$n" 2>/dev/null || true
+  done
+  for b in "${BRIDGES[@]}"; do ip link del "$b" 2>/dev/null || true; done
+  echo "torn down."
+}
+
+case "${1:-}" in
+  up) up ;;
+  down) down ;;
+  status) status ;;
+  move) move ;;
+  *) echo "usage: $0 up|down|status|move"; exit 2 ;;
+esac
