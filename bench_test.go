@@ -133,6 +133,35 @@ func BenchmarkLeaderFailover(b *testing.B) {
 	}
 }
 
+// BenchmarkCentralFailoverRecovery reproduces E12: Central-host death to
+// rebuilt view on a 20-node farm, with the state journal off (cold
+// successor, multicast resync pull) and on (warm standby replaying its
+// streamed journal). Reports time-to-rebuilt-view and the report-plane
+// message count of the recovery; the journaled run must be quieter.
+func BenchmarkCentralFailoverRecovery(b *testing.B) {
+	o := exp.DefaultJournalFailover()
+	for _, mode := range []struct {
+		name    string
+		journal bool
+	}{{"journal-off", false}, {"journal-on", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var rebuild time.Duration
+			var msgs uint64
+			for i := 0; i < b.N; i++ {
+				r, err := exp.JournalFailoverTrial(o, mode.journal, o.Seed+int64(i)*7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rebuild += r.Rebuild
+				msgs += r.ResyncMsgs
+			}
+			b.ReportMetric(rebuild.Seconds()/float64(b.N), "s-to-rebuilt")
+			b.ReportMetric(float64(msgs)/float64(b.N), "resync-msgs")
+		})
+	}
+}
+
 // BenchmarkDomainMove reproduces E7: a Central-initiated VLAN move with
 // move inference and failure suppression.
 func BenchmarkDomainMove(b *testing.B) {

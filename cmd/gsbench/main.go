@@ -7,7 +7,8 @@
 //
 // With no arguments it runs everything. Experiments: fig5, formula1,
 // beaconloss, detector, hbload, failover, move, merge, centralload,
-// verify. -quick runs scaled-down variants (seconds instead of minutes).
+// verify, tb0, journal. -quick runs scaled-down variants (seconds
+// instead of minutes).
 package main
 
 import (
@@ -107,6 +108,13 @@ func runners() []runner {
 				o.Adapters = 16
 			}
 			return exp.BeaconPhase(o)
+		}},
+		{"journal", "E12: Central failover recovery, state journal off vs on", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultJournalFailover()
+			if q {
+				o.AdminNodes, o.UniformNodes, o.Trials = 3, 5, 1
+			}
+			return exp.JournalFailover(o)
 		}},
 	}
 }

@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	gsctl [-admin 2] [-domains acme:2:3,globex:2:3] [-uniform N[:adapters]]
+//	gsctl [-admin 2] [-domains acme:2:3,globex:2:3] [-uniform N[:adapters]] [-journal]
 //
 // Commands: help, run <seconds>, status, groups, events [n], kill <node>,
 // restart <node>, killsw <switch>, restoresw <switch>, move <node> <domain>,
-// fail <adapter> <recv|send|stop|ok>, verify, metrics, quit.
+// fail <adapter> <recv|send|stop|ok>, verify, journal, metrics, quit.
+// With -journal every node keeps a state journal; the journal command
+// shows each node's replay position and who the warm standby is.
 package main
 
 import (
@@ -28,14 +30,16 @@ import (
 
 func main() {
 	var (
-		admin   = flag.Int("admin", 2, "administrative nodes")
-		domains = flag.String("domains", "acme:2:3,globex:2:3", "domains as name:frontends:backends,...")
-		uniform = flag.String("uniform", "", "uniform nodes as N[:adaptersPerNode] (replaces -domains)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
+		admin    = flag.Int("admin", 2, "administrative nodes")
+		domains  = flag.String("domains", "acme:2:3,globex:2:3", "domains as name:frontends:backends,...")
+		uniform  = flag.String("uniform", "", "uniform nodes as N[:adaptersPerNode] (replaces -domains)")
+		journals = flag.Bool("journal", false, "give every node a state journal (inspect with the journal command)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
 
-	spec := gulfstream.Spec{Seed: *seed, AdminNodes: *admin, StartSkew: 2 * time.Second, RecordEvents: true}
+	spec := gulfstream.Spec{Seed: *seed, AdminNodes: *admin, StartSkew: 2 * time.Second,
+		RecordEvents: true, Journal: *journals}
 	if *uniform != "" {
 		parts := strings.SplitN(*uniform, ":", 2)
 		n, err := strconv.Atoi(parts[0])
@@ -92,7 +96,7 @@ func repl(f *gulfstream.Farm, in io.Reader, out io.Writer) {
 		case "help":
 			fmt.Fprintln(out, "run <s> | status | groups | events [n] | kill <node> | restart <node> |")
 			fmt.Fprintln(out, "killsw <sw> | restoresw <sw> | move <node> <domain> | fail <adapter> <mode> |")
-			fmt.Fprintln(out, "verify | metrics | quit")
+			fmt.Fprintln(out, "verify | journal | metrics | quit")
 		case "run":
 			secs := 10.0
 			if len(args) > 1 {
@@ -183,6 +187,27 @@ func repl(f *gulfstream.Farm, in io.Reader, out io.Writer) {
 			}
 			for _, m := range ms {
 				fmt.Fprintf(out, "  %v\n", m)
+			}
+		case "journal":
+			if len(f.Journals) == 0 {
+				fmt.Fprintln(out, "no journals (start gsctl with -journal)")
+				continue
+			}
+			names := make([]string, 0, len(f.Journals))
+			for name := range f.Journals {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				j := f.Journals[name]
+				role := ""
+				if d := f.Daemons[name]; d != nil && d.Running() && d.HostingCentral() {
+					role = "  <- hosts Central"
+				} else if j.Loaded() {
+					role = "  <- warm standby"
+				}
+				fmt.Fprintf(out, "  %-12s epoch %-3d seq %-5d groups %-3d loaded=%v%s\n",
+					name, j.Epoch(), j.Seq(), len(j.State().Groups), j.Loaded(), role)
 			}
 		case "metrics":
 			fmt.Fprint(out, f.Metrics.Summary())

@@ -11,6 +11,11 @@
 //
 //	gsd -node web-01 -adapters 10.1.0.5,10.4.0.5,10.5.0.5 [flags]
 //
+// With -journal-dir, a hosted Central keeps an append-only journal of its
+// committed state there and streams it to the next-in-line administrative
+// adapter, so a successor (or a restarted gsd) rebuilds its view from the
+// journal instead of a multicast resync pull.
+//
 // Network segments can be emulated on one machine with network
 // namespaces; see README.md.
 package main
@@ -31,22 +36,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/event"
+	"repro/internal/journal"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		node      = flag.String("node", "", "node name (required)")
-		adapters  = flag.String("adapters", "", "comma-separated adapter IPv4 addresses; first is administrative (required)")
-		tb        = flag.Duration("tb", 5*time.Second, "beacon phase Tb")
-		ts        = flag.Duration("ts", 5*time.Second, "leader quiet wait Ts")
-		tgsc      = flag.Duration("tgsc", 15*time.Second, "Central stabilization wait Tgsc")
-		th        = flag.Duration("th", time.Second, "heartbeat interval Th")
-		miss      = flag.Int("miss", 3, "missed-heartbeat sensitivity k")
-		detName   = flag.String("detector", "biring", "failure detector: ring|biring|all-to-all|randping|subgroup")
-		dbPath    = flag.String("configdb", "", "expected-topology JSON for Central verification (optional)")
-		community = flag.String("community", "farm-admin", "SNMP community for switch management")
-		seed      = flag.Int64("seed", 0, "randomness seed (0 = time-based)")
+		node       = flag.String("node", "", "node name (required)")
+		adapters   = flag.String("adapters", "", "comma-separated adapter IPv4 addresses; first is administrative (required)")
+		tb         = flag.Duration("tb", 5*time.Second, "beacon phase Tb")
+		ts         = flag.Duration("ts", 5*time.Second, "leader quiet wait Ts")
+		tgsc       = flag.Duration("tgsc", 15*time.Second, "Central stabilization wait Tgsc")
+		th         = flag.Duration("th", time.Second, "heartbeat interval Th")
+		miss       = flag.Int("miss", 3, "missed-heartbeat sensitivity k")
+		detName    = flag.String("detector", "biring", "failure detector: ring|biring|all-to-all|randping|subgroup")
+		dbPath     = flag.String("configdb", "", "expected-topology JSON for Central verification (optional)")
+		community  = flag.String("community", "farm-admin", "SNMP community for switch management")
+		journalDir = flag.String("journal-dir", "", "directory for Central's durable state journal (empty = journal off)")
+		seed       = flag.Int64("seed", 0, "randomness seed (0 = time-based)")
 	)
 	flag.Parse()
 	if *node == "" || *adapters == "" {
@@ -96,6 +103,24 @@ func main() {
 	cc.StabilizeWait = *tgsc
 	cc.Community = *community
 	ctr := central.New(cc, rt, bus, db)
+	if *journalDir != "" {
+		store, err := journal.NewFileStore(*journalDir, journal.FileOptions{})
+		if err != nil {
+			log.Fatalf("gsd: journal: %v", err)
+		}
+		j, err := journal.New(store, journal.Options{})
+		if err != nil {
+			log.Fatalf("gsd: journal: %v", err)
+		}
+		defer j.Close()
+		ctr.SetJournal(j)
+		state := "empty"
+		if j.Loaded() {
+			state = fmt.Sprintf("replayed %d groups", len(j.State().Groups))
+		}
+		log.Printf("gsd: state journal at %s (%s, epoch %d, seq %d)",
+			*journalDir, state, j.Epoch(), j.Seq())
+	}
 
 	s := *seed
 	if s == 0 {
@@ -130,6 +155,9 @@ func main() {
 		}
 		if d.HostingCentral() {
 			log.Printf("gsd: this node hosts GulfStream Central (%d groups)", ctr.GroupCount())
+		}
+		if j := ctr.Journal(); j != nil && (d.HostingCentral() || j.Loaded()) {
+			log.Printf("gsd: journal epoch %d seq %d (%d groups)", j.Epoch(), j.Seq(), len(j.State().Groups))
 		}
 		rt.AfterFunc(30*time.Second, status)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/configdb"
 	"repro/internal/event"
+	"repro/internal/journal"
 	"repro/internal/snmp"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -57,8 +58,10 @@ type group struct {
 	// src is the admin address of the daemon reporting for this group,
 	// kept so Central can ask it for a full resync.
 	src transport.Addr
-	// resyncAt rate-limits per-group resync requests.
+	// resyncAt rate-limits per-group resync requests; resynced marks it
+	// meaningful (zero is a valid instant under the simulated clock).
 	resyncAt time.Duration
+	resynced bool
 }
 
 // adapterInfo is Central's record of one adapter's state.
@@ -111,6 +114,11 @@ type Central struct {
 	// snmpSwitchOf is the reverse index.
 	snmpSwitchOf map[transport.IP]string
 
+	// jr, when set, journals every committed transition; stream is the
+	// sender side of the warm-standby replication (journal.go).
+	jr     *journal.Journal
+	stream stream
+
 	lastChange  time.Duration
 	everChanged bool
 
@@ -152,14 +160,29 @@ func (c *Central) Activate(admin transport.Endpoint) {
 	c.active = true
 	c.ep = admin
 	c.snmp = snmp.NewClient(admin, c.clock, c.cfg.Community, c.cfg.SNMPPort)
-	// A fresh Central starts from nothing; leaders resend full reports.
-	c.groups = make(map[transport.IP]*group)
+	// With a journal the successor replays its accumulated state (streamed
+	// from the previous active, or loaded from disk) instead of starting
+	// from nothing.
+	restored := c.jr != nil && c.jr.Loaded() && c.installRestored()
+	if !restored {
+		c.groups = make(map[transport.IP]*group)
+	}
 	c.lastSeq = make(map[transport.IP]uint64)
 	c.limbo = make(map[transport.IP]time.Duration)
+	c.resetStream()
 	c.touch()
 	c.publish(event.Event{Kind: event.CentralElected, Adapter: admin.LocalIP()})
 	if c.sweepTimer == nil {
 		c.sweepTimer = c.clock.AfterFunc(5*time.Second, c.sweepTick)
+	}
+	if c.jr != nil {
+		c.jr.BeginEpoch()
+	}
+	if restored {
+		// The view is already populated: only re-confirm groups whose state
+		// did not arrive live over the standby stream, one unicast each.
+		c.verifyRestored()
+		return
 	}
 	// Pull the topology: the steady state is silent, so a Central without
 	// state must ask every daemon to resend full reports. Multicast on
@@ -174,10 +197,11 @@ func (c *Central) requestGroupResync(g *group) {
 		return
 	}
 	now := c.clock.Now()
-	if g.resyncAt != 0 && now-g.resyncAt < 10*time.Second {
+	if g.resynced && now-g.resyncAt < 10*time.Second {
 		return
 	}
 	g.resyncAt = now
+	g.resynced = true
 	req := wire.Encode(&wire.ResyncRequest{From: c.ep.LocalIP()})
 	_ = c.ep.Unicast(transport.PortReport, g.src, req)
 }
@@ -196,6 +220,7 @@ func (c *Central) requestResync(times int) {
 // Deactivate implements core.CentralHook.
 func (c *Central) Deactivate() {
 	c.active = false
+	c.resetStream()
 	if c.sweepTimer != nil {
 		c.sweepTimer.Stop()
 		c.sweepTimer = nil
@@ -229,6 +254,7 @@ func (c *Central) sweepLimbo() {
 		}
 		info.alive = false
 		info.diedAt = now
+		c.jAdapter(info)
 		c.publish(event.Event{Kind: event.AdapterFailed, Adapter: ip,
 			Node: info.member.Node, Detail: "unaccounted after group dissolution"})
 		c.correlateNode(info.member.Node)
@@ -310,13 +336,8 @@ func (c *Central) HandleReport(src transport.Addr, r *wire.Report) {
 	if c.OnReport != nil {
 		c.OnReport(src, r)
 	}
-	defer func() {
-		if g := c.groups[r.Leader]; g != nil {
-			g.src = src
-		}
-	}()
 	if r.Full {
-		c.applyFull(r)
+		c.applyFull(src, r)
 	} else {
 		if c.groups[r.Leader] == nil {
 			// A delta without a baseline: we are missing state for this
@@ -326,9 +347,11 @@ func (c *Central) HandleReport(src transport.Addr, r *wire.Report) {
 				_ = c.ep.Unicast(transport.PortReport, src, req)
 			}()
 		}
-		c.applyDelta(r)
+		c.applyDelta(src, r)
 	}
 	c.sweepExpectedMoves()
+	// Membership may have shifted the next-in-line admin adapter.
+	c.refreshStream()
 }
 
 func (c *Central) ack(src transport.Addr, seq uint64) {
@@ -339,7 +362,7 @@ func (c *Central) ack(src transport.Addr, seq uint64) {
 	_ = c.ep.Unicast(transport.PortReport, src, wire.Encode(ack))
 }
 
-func (c *Central) applyFull(r *wire.Report) {
+func (c *Central) applyFull(src transport.Addr, r *wire.Report) {
 	// A takeover report names the group (leader + version) it supersedes:
 	// the successor won leadership after verifying the old leader's death.
 	// Old-group members absent from the new membership departed (typically
@@ -358,6 +381,7 @@ func (c *Central) applyFull(r *wire.Report) {
 				}
 			}
 			delete(c.groups, r.PrevLeader)
+			c.jGroupRemove(r.PrevLeader)
 			c.publish(event.Event{Kind: event.LeaderChanged, Group: r.Leader,
 				Detail: fmt.Sprintf("took over from %v", r.PrevLeader)})
 		}
@@ -383,8 +407,11 @@ func (c *Central) applyFull(r *wire.Report) {
 		c.groups[r.Leader] = g
 	}
 	if !fresh && r.Version < g.version {
-		return // stale full report
+		g.src = src // still the live reporter, even when the full is stale
+		return
 	}
+	oldVersion, oldSrc := g.version, g.src
+	g.src = src
 	oldMembers := g.members
 	g.members = make(map[transport.IP]wire.Member, len(r.Members))
 	g.version = r.Version
@@ -414,9 +441,12 @@ func (c *Central) applyFull(r *wire.Report) {
 		// Resync-triggered no-op fulls must not reset the stability clock.
 		c.touch()
 	}
+	if changed || g.version != oldVersion || g.src != oldSrc {
+		c.jGroup(g)
+	}
 }
 
-func (c *Central) applyDelta(r *wire.Report) {
+func (c *Central) applyDelta(src transport.Addr, r *wire.Report) {
 	g := c.groups[r.Leader]
 	if g == nil {
 		// Delta without a baseline (lost state); synthesize the group so
@@ -425,6 +455,8 @@ func (c *Central) applyDelta(r *wire.Report) {
 		c.groups[r.Leader] = g
 		c.publish(event.Event{Kind: event.GroupFormed, Group: r.Leader, Detail: "from delta"})
 	}
+	oldVersion := g.version
+	g.src = src
 	g.version = r.Version
 	changed := false
 	for _, m := range r.Members {
@@ -448,6 +480,9 @@ func (c *Central) applyDelta(r *wire.Report) {
 	}
 	if len(g.members) == 0 {
 		delete(c.groups, r.Leader)
+		c.jGroupRemove(r.Leader)
+	} else if changed || g.version != oldVersion {
+		c.jGroup(g)
 	}
 }
 
@@ -466,7 +501,9 @@ func (c *Central) memberJoined(leader transport.IP, m wire.Member, initial bool)
 				delete(og.members, m.IP)
 				if len(og.members) == 0 {
 					delete(c.groups, l)
+					c.jGroupRemove(l)
 				} else {
+					c.jGroup(og)
 					c.requestGroupResync(og)
 				}
 			}
@@ -488,6 +525,7 @@ func (c *Central) memberJoined(leader transport.IP, m wire.Member, initial bool)
 		diedAt = prev.diedAt
 	}
 	c.adapters[m.IP] = &adapterInfo{member: m, alive: true, group: leader}
+	c.jAdapter(c.adapters[m.IP])
 
 	deadline, expected := c.expectedMoves[m.IP]
 	switch {
@@ -497,6 +535,7 @@ func (c *Central) memberJoined(leader transport.IP, m wire.Member, initial bool)
 		// silently (it led its old group and reformed); either way the
 		// expectation is satisfied.
 		delete(c.expectedMoves, m.IP)
+		c.jMoveDone(m.IP)
 		c.publish(event.Event{Kind: event.NodeMoved, Adapter: m.IP, Node: m.Node,
 			Group: leader, Detail: "expected (central-initiated)"})
 	case wasDead && movedGroup && c.clock.Now()-diedAt <= c.cfg.MoveWindow:
@@ -534,6 +573,7 @@ func (c *Central) memberLeft(leader transport.IP, m wire.Member) {
 	info.alive = false
 	info.diedAt = c.clock.Now()
 	info.group = leader
+	c.jAdapter(info)
 
 	_, expected := c.expectedMoves[m.IP]
 	c.publish(event.Event{Kind: event.AdapterFailed, Adapter: m.IP, Node: m.Node,
@@ -563,6 +603,7 @@ func (c *Central) correlateNode(node string) {
 	switch {
 	case allDead && !c.nodeDead[node]:
 		c.nodeDead[node] = true
+		c.jNode(node, true)
 		suppressed := true
 		for ip := range known {
 			if _, exp := c.expectedMoves[ip]; !exp {
@@ -573,6 +614,7 @@ func (c *Central) correlateNode(node string) {
 			Detail: fmt.Sprintf("all %d adapters down", len(known))})
 	case !allDead && c.nodeDead[node]:
 		delete(c.nodeDead, node)
+		c.jNode(node, false)
 		c.publish(event.Event{Kind: event.NodeRecovered, Node: node})
 	}
 }
@@ -639,10 +681,12 @@ func (c *Central) correlateSwitch(ip transport.IP) {
 	switch {
 	case allDead && !c.switchDead[name]:
 		c.switchDead[name] = true
+		c.jSwitch(name, true)
 		c.publish(event.Event{Kind: event.SwitchFailed, Node: name,
 			Detail: fmt.Sprintf("all %d wired adapters down", len(wired))})
 	case !allDead && c.switchDead[name]:
 		delete(c.switchDead, name)
+		c.jSwitch(name, false)
 		c.publish(event.Event{Kind: event.SwitchRecovered, Node: name})
 	}
 }
@@ -653,6 +697,7 @@ func (c *Central) sweepExpectedMoves() {
 	for ip, deadline := range c.expectedMoves {
 		if now > deadline {
 			delete(c.expectedMoves, ip)
+			c.jMoveDone(ip)
 			c.publish(event.Event{Kind: event.VerifyMismatch, Adapter: ip,
 				Detail: "planned move never completed"})
 		}

@@ -167,10 +167,13 @@ func (c *Central) MoveAdapter(ip transport.IP, vlan int, done func(error)) {
 	}
 	// Register the expectation BEFORE the SET: the departure may be
 	// reported before the SNMP response returns.
-	c.expectedMoves[ip] = c.clock.Now() + c.cfg.MoveWindow
+	deadline := c.clock.Now() + c.cfg.MoveWindow
+	c.expectedMoves[ip] = deadline
+	c.jMoveExpect(ip, deadline)
 	c.snmp.Set(agent, switchsim.OIDPortVLAN(spec.Port), snmp.Integer(int64(vlan)), func(err error) {
 		if err != nil {
 			delete(c.expectedMoves, ip)
+			c.jMoveDone(ip)
 			done(fmt.Errorf("central: VLAN set for %v failed: %w", ip, err))
 			return
 		}

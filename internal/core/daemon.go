@@ -24,6 +24,15 @@ type CentralHook interface {
 	HandleReport(src transport.Addr, r *wire.Report)
 }
 
+// JournalPeer is an optional extension of CentralHook for Centrals that
+// replicate a state journal. The daemon routes journal-plane traffic
+// (JournalAppend from the active, JournalAck from the standby) here,
+// passing its administrative endpoint so an inactive standby — which was
+// never Activated and has no endpoint of its own — can still reply.
+type JournalPeer interface {
+	HandleJournal(ep transport.Endpoint, src transport.Addr, msg wire.Message)
+}
+
 // Hooks are optional observation points for tests and experiments.
 type Hooks struct {
 	// Commit fires after an adapter installs a committed view.
@@ -261,5 +270,25 @@ func (d *Daemon) handleReportPlane(src, _ transport.Addr, payload []byte) {
 		if m.From == d.centralIP && d.centralIP != 0 {
 			d.reporter.centralChanged()
 		}
+	}
+}
+
+// handleJournalPlane routes PortJournal traffic arriving on the admin
+// adapter to a journal-capable Central (active or standing by).
+func (d *Daemon) handleJournalPlane(src, _ transport.Addr, payload []byte) {
+	if !d.running || d.central == nil {
+		return
+	}
+	jp, ok := d.central.(JournalPeer)
+	if !ok {
+		return
+	}
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return
+	}
+	switch msg.(type) {
+	case *wire.JournalAppend, *wire.JournalAck:
+		jp.HandleJournal(d.admin().ep, src, msg)
 	}
 }

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLeaderEvictsStragglerWhoRediscovers drives the stale-view healing
+// path end to end: a member is dropped from the group without ever
+// hearing about it (the "dropped while unreachable" shape), keeps running
+// its stale ring, and must be healed by the leader's Evict — abandon the
+// dead view, rediscover the segment, rejoin.
+func TestLeaderEvictsStragglerWhoRediscovers(t *testing.T) {
+	h := newHarness(t, 47)
+	cfg := fastConfig()
+	ips := h.singleSegment(cfg, 5)
+	h.run(8 * time.Second)
+	h.assertOneGroup(ips)
+	leaderIP := h.viewOf(ips[0]).Leader()
+
+	var leader, victim *adapterProto
+	for _, d := range h.daemons {
+		if p, ok := d.byIP[leaderIP]; ok {
+			leader = p
+		}
+		if p, ok := d.byIP[ipn(0, 2)]; ok {
+			victim = p
+		}
+	}
+	// Depart the victim leader-side: the rest of the group recommits, but
+	// the victim is no longer a member so no Prepare/Commit reaches it.
+	leader.lead.queueDepart(victim.self)
+	h.run(time.Second)
+	if leader.view.Contains(victim.self) {
+		t.Fatal("depart never committed")
+	}
+	if victim.state != stMember || !victim.view.Contains(victim.self) {
+		t.Fatalf("fixture broken: victim state=%v view=%v (should be wedged on the stale view)",
+			victim.state, victim.view)
+	}
+
+	// The straggler's stale-ring traffic (its heartbeats, or the suspicions
+	// it raises about neighbors that went silent on it) must draw an Evict.
+	// Poll while healing runs: viewCommitted clears the evictAt entry the
+	// moment the evicted adapter rejoins, so the evidence is transient.
+	evicted := false
+	for waited := time.Duration(0); waited < 20*time.Second; waited += 250 * time.Millisecond {
+		h.run(250 * time.Millisecond)
+		if _, ok := leader.lead.evictAt[victim.self]; ok {
+			evicted = true
+			break
+		}
+	}
+	if !evicted {
+		t.Fatal("leader never evicted the straggler")
+	}
+	// And the evicted straggler rediscovers the segment and rejoins.
+	h.run(15 * time.Second)
+	h.assertOneGroup(ips)
+}

@@ -107,6 +107,8 @@ func (p *adapterProto) start() {
 		p.ep.Bind(transport.PortReport, p.d.handleReportPlane)
 		// Admin adapters also listen for Central's multicast resync pull.
 		p.ep.JoinGroup(transport.BeaconGroup, transport.PortReport)
+		// And for the journal stream, in case they are the warm standby.
+		p.ep.Bind(transport.PortJournal, p.d.handleJournalPlane)
 	}
 
 	p.detector = detect.New(p.d.cfg.Detector, p.d.cfg.DetectorParams, (*detectorEnv)(p))

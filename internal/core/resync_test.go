@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// sendResync unicasts a ResyncRequest claiming to come from `from` to the
+// report plane of the daemon owning admin adapter `to`.
+func (h *harness) sendResync(via *netsim.Adapter, from, to transport.IP) {
+	h.t.Helper()
+	msg := wire.Encode(&wire.ResyncRequest{From: from})
+	if err := via.Unicast(transport.PortReport, transport.Addr{IP: to, Port: transport.PortReport}, msg); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// TestResyncRequestRereportsLedGroups exercises the daemon side of
+// Central's resync pull directly: a leader answers with a full report for
+// every group it leads, a non-leader stays silent, and a request claiming
+// to come from anyone but the believed Central is ignored.
+func TestResyncRequestRereportsLedGroups(t *testing.T) {
+	// The paper's testbed shape: 3 adapters per node on 3 segments. The
+	// highest node leads all three AMGs and hosts Central.
+	h := newHarness(t, 44)
+	cfg := fastConfig()
+	segs := []string{"admin", "front", "back"}
+	for i := 1; i <= 5; i++ {
+		var ips []transport.IP
+		for s := 0; s < 3; s++ {
+			ips = append(ips, ipn(byte(s), byte(i)))
+		}
+		h.addNode(cfg, fmt.Sprintf("node-%d", i), ips, segs)
+	}
+	for _, d := range h.daemons {
+		d.Start()
+	}
+	h.run(15 * time.Second)
+
+	leaderAdmin := ipn(0, 5) // highest admin IP: leads admin, hosts Central
+	ledGroups := []transport.IP{ipn(0, 5), ipn(1, 5), ipn(2, 5)}
+	for _, l := range ledGroups {
+		if h.viewOf(l).Leader() != l {
+			t.Fatalf("expected %v to lead its segment, leader is %v", l, h.viewOf(l).Leader())
+		}
+	}
+	via := h.eps[ipn(0, 1)] // any admin-segment adapter can carry the request
+
+	// A request from an IP nobody believes is Central must be ignored.
+	base := len(h.central.reports)
+	h.sendResync(via, ipn(0, 1), leaderAdmin)
+	h.run(5 * time.Second)
+	if got := len(h.central.reports) - base; got != 0 {
+		t.Fatalf("forged resync triggered %d reports, want 0", got)
+	}
+
+	// A correct request to a daemon that leads nothing draws no reaction.
+	h.sendResync(via, leaderAdmin, ipn(0, 2))
+	h.run(5 * time.Second)
+	if got := len(h.central.reports) - base; got != 0 {
+		t.Fatalf("resync to a non-leader triggered %d reports, want 0", got)
+	}
+
+	// The real thing: the leader re-reports every led group, in full.
+	h.sendResync(via, leaderAdmin, leaderAdmin)
+	h.run(5 * time.Second)
+	fulls := make(map[transport.IP]int)
+	for _, r := range h.central.reports[base:] {
+		if !r.Full {
+			t.Fatalf("resync answered with a delta report for %v", r.Leader)
+		}
+		fulls[r.Leader]++
+	}
+	for _, l := range ledGroups {
+		if fulls[l] == 0 {
+			t.Fatalf("no full re-report for led group %v (got %v)", l, fulls)
+		}
+	}
+	if len(fulls) != len(ledGroups) {
+		t.Fatalf("re-reports for unexpected leaders: %v", fulls)
+	}
+}

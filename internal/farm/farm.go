@@ -15,6 +15,7 @@ import (
 	"repro/internal/configdb"
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -72,6 +73,9 @@ type Spec struct {
 	Central central.Config
 	// RecordEvents keeps the full event log on the bus.
 	RecordEvents bool
+	// Journal gives every node's Central an in-memory state journal,
+	// enabling the warm-standby stream and journal-based failover.
+	Journal bool
 }
 
 // NodeInfo describes one built node.
@@ -96,6 +100,8 @@ type Farm struct {
 	Nodes    map[string]*NodeInfo
 	Daemons  map[string]*core.Daemon
 	Centrals map[string]*central.Central
+	// Journals holds each node's journal when Spec.Journal is set.
+	Journals map[string]*journal.Journal
 
 	adapters map[transport.IP]*netsim.Adapter
 	order    []string // node build order (deterministic)
@@ -129,6 +135,7 @@ func Build(spec Spec) (*Farm, error) {
 		Nodes:    make(map[string]*NodeInfo),
 		Daemons:  make(map[string]*core.Daemon),
 		Centrals: make(map[string]*central.Central),
+		Journals: make(map[string]*journal.Journal),
 		adapters: make(map[transport.IP]*netsim.Adapter),
 	}
 	f.Net = netsim.New(f.Sched, f.Fabric)
@@ -245,6 +252,11 @@ func (f *Farm) build() error {
 		c := central.New(f.Spec.Central, f.Clock(), f.Bus, f.DB)
 		for _, swt := range f.Fabric.Switches() {
 			c.RegisterSwitchAgent(swt.Name(), transport.Addr{IP: swt.ManagementIP(), Port: transport.PortSNMP})
+		}
+		if f.Spec.Journal {
+			j := journal.NewMem()
+			c.SetJournal(j)
+			f.Journals[name] = j
 		}
 		d.SetCentral(c)
 		f.Nodes[name] = info

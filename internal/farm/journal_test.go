@@ -1,0 +1,131 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+// journalSpec is fastSpec with per-node state journals enabled.
+func journalSpec(seed int64) Spec {
+	spec := fastSpec(seed)
+	spec.Journal = true
+	return spec
+}
+
+// centralHost returns the node currently hosting Central.
+func centralHost(f *Farm) string {
+	for _, name := range f.order {
+		if f.Daemons[name].Running() && f.Daemons[name].HostingCentral() {
+			return name
+		}
+	}
+	return ""
+}
+
+func TestWarmStandbyStreams(t *testing.T) {
+	spec := journalSpec(21)
+	spec.AdminNodes = 3
+	spec.UniformNodes = 5
+	spec.UniformAdapters = 2
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(60 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	// Give the stream a beat to drain after the last view change.
+	f.RunFor(5 * time.Second)
+
+	host := centralHost(f)
+	if host == "" {
+		t.Fatal("nobody hosts central")
+	}
+	view := f.ActiveCentral().Groups()
+
+	// Exactly one other node — the next-in-line admin adapter — must have
+	// received the full view over the stream, marked as streamed.
+	standby := ""
+	for name, j := range f.Journals {
+		if name == host || !j.Loaded() {
+			continue
+		}
+		if standby != "" {
+			t.Fatalf("two standbys streamed to: %s and %s", standby, name)
+		}
+		standby = name
+	}
+	if standby == "" {
+		t.Fatal("no standby received the journal stream")
+	}
+	st := f.Journals[standby].State()
+	if len(st.Groups) != len(view) {
+		t.Fatalf("standby journal has %d groups, active view has %d", len(st.Groups), len(view))
+	}
+	for leader, members := range view {
+		gs := st.Groups[leader]
+		if gs == nil {
+			t.Fatalf("standby journal missing group %v", leader)
+		}
+		if len(gs.Members) != len(members) {
+			t.Fatalf("group %v: standby has %d members, active %d", leader, len(gs.Members), len(members))
+		}
+		if !gs.Streamed {
+			t.Fatalf("group %v not marked streamed on the standby", leader)
+		}
+	}
+}
+
+func TestCentralFailoverWithJournalUsesStandby(t *testing.T) {
+	spec := journalSpec(22)
+	spec.AdminNodes = 3
+	spec.UniformNodes = 5
+	spec.UniformAdapters = 2
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(60 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	f.RunFor(5 * time.Second)
+
+	host := centralHost(f)
+	if host == "" {
+		t.Fatal("nobody hosts central")
+	}
+	before := f.ActiveCentral()
+	groupsBefore := len(before.Groups())
+
+	if err := f.KillNode(host); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.RunUntilStable(120 * time.Second); !ok {
+		t.Fatal("no stability after central failover")
+	}
+	after := f.ActiveCentral()
+	if after == nil || after == before {
+		t.Fatal("central did not move")
+	}
+	if f.Bus.Count(event.CentralElected) < 2 {
+		t.Fatal("no second CentralElected event")
+	}
+	if got := len(after.Groups()); got != groupsBefore {
+		t.Fatalf("rebuilt view has %d groups, want %d", got, groupsBefore)
+	}
+	// The successor restored from its streamed journal: its journal must
+	// have been loaded before activation and its epoch advanced past the
+	// first regime's.
+	newHost := centralHost(f)
+	j := f.Journals[newHost]
+	if j == nil || !j.Loaded() {
+		t.Fatal("successor has no loaded journal")
+	}
+	if j.Epoch() < 2 {
+		t.Fatalf("successor epoch = %d, want >= 2 (new regime over streamed state)", j.Epoch())
+	}
+}

@@ -1,0 +1,416 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Codec errors.
+var (
+	ErrShort   = errors.New("journal: short record")
+	ErrBadKind = errors.New("journal: unknown record kind")
+	ErrBadCRC  = errors.New("journal: frame CRC mismatch")
+)
+
+// recVersion is the first byte of every encoded record.
+const recVersion = 1
+
+type jenc struct{ buf []byte }
+
+func (e *jenc) u8(v byte)   { e.buf = append(e.buf, v) }
+func (e *jenc) bool(v bool) { e.u8(map[bool]byte{false: 0, true: 1}[v]) }
+func (e *jenc) u16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+func (e *jenc) u32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+func (e *jenc) u64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+func (e *jenc) ip(v transport.IP)     { e.u32(uint32(v)) }
+func (e *jenc) dur(v time.Duration)   { e.u64(uint64(v)) }
+func (e *jenc) addr(a transport.Addr) { e.ip(a.IP); e.u16(a.Port) }
+
+func (e *jenc) str(s string) {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *jenc) member(m wire.Member) {
+	e.ip(m.IP)
+	e.str(m.Node)
+	e.u8(m.Index)
+	e.bool(m.Admin)
+}
+
+func (e *jenc) members(ms []wire.Member) {
+	e.u16(uint16(len(ms)))
+	for _, m := range ms {
+		e.member(m)
+	}
+}
+
+type jdec struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *jdec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: reading %s at %d", ErrShort, what, d.pos)
+	}
+}
+
+func (d *jdec) need(n int, what string) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos+n > len(d.buf) {
+		d.fail(what)
+		return false
+	}
+	return true
+}
+
+func (d *jdec) u8() byte {
+	if !d.need(1, "u8") {
+		return 0
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *jdec) bool() bool { return d.u8() != 0 }
+
+func (d *jdec) u16() uint16 {
+	if !d.need(2, "u16") {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.pos:])
+	d.pos += 2
+	return v
+}
+
+func (d *jdec) u32() uint32 {
+	if !d.need(4, "u32") {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *jdec) u64() uint64 {
+	if !d.need(8, "u64") {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *jdec) ip() transport.IP   { return transport.IP(d.u32()) }
+func (d *jdec) dur() time.Duration { return time.Duration(d.u64()) }
+func (d *jdec) addr() transport.Addr {
+	return transport.Addr{IP: d.ip(), Port: d.u16()}
+}
+
+func (d *jdec) str() string {
+	n := int(d.u16())
+	if d.err != nil || !d.need(n, "string body") {
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *jdec) member() wire.Member {
+	var m wire.Member
+	m.IP = d.ip()
+	m.Node = d.str()
+	m.Index = d.u8()
+	m.Admin = d.bool()
+	return m
+}
+
+func (d *jdec) members() []wire.Member {
+	n := int(d.u16())
+	if d.err != nil {
+		return nil
+	}
+	// Each member is at least 8 bytes; bound allocation by what can fit.
+	if n > (len(d.buf)-d.pos)/8+1 {
+		d.fail("member count")
+		return nil
+	}
+	ms := make([]wire.Member, 0, n)
+	for i := 0; i < n; i++ {
+		ms = append(ms, d.member())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return ms
+}
+
+// EncodeRecord serializes one record. The layout is versioned and
+// per-kind: header (version, kind, epoch, seq, time) then only the
+// payload fields that kind uses.
+func EncodeRecord(rec Record) []byte {
+	e := &jenc{buf: make([]byte, 0, 64)}
+	e.u8(recVersion)
+	e.u8(byte(rec.Kind))
+	e.u64(rec.Epoch)
+	e.u64(rec.Seq)
+	e.dur(rec.Time)
+	switch rec.Kind {
+	case RecGroupUpdate:
+		e.ip(rec.Group)
+		e.u64(rec.Version)
+		e.addr(rec.Src)
+		e.members(rec.Members)
+	case RecGroupRemove:
+		e.ip(rec.Group)
+	case RecAdapterFlip:
+		e.member(rec.Member)
+		e.bool(rec.Alive)
+		e.ip(rec.Group)
+		e.dur(rec.DiedAt)
+	case RecNodeFlip, RecSwitchFlip:
+		e.str(rec.Node)
+		e.bool(rec.Dead)
+	case RecMoveExpect:
+		e.ip(rec.Adapter)
+		e.dur(rec.Deadline)
+	case RecMoveDone:
+		e.ip(rec.Adapter)
+	case RecSnapshot:
+		encodeState(e, rec.Snap)
+	}
+	return e.buf
+}
+
+// DecodeRecord parses one encoded record, rejecting trailing bytes.
+func DecodeRecord(b []byte) (Record, error) {
+	var rec Record
+	d := &jdec{buf: b}
+	if v := d.u8(); d.err == nil && v != recVersion {
+		return rec, fmt.Errorf("journal: unknown record version %d", v)
+	}
+	rec.Kind = Kind(d.u8())
+	rec.Epoch = d.u64()
+	rec.Seq = d.u64()
+	rec.Time = d.dur()
+	switch rec.Kind {
+	case RecGroupUpdate:
+		rec.Group = d.ip()
+		rec.Version = d.u64()
+		rec.Src = d.addr()
+		rec.Members = d.members()
+	case RecGroupRemove:
+		rec.Group = d.ip()
+	case RecAdapterFlip:
+		rec.Member = d.member()
+		rec.Alive = d.bool()
+		rec.Group = d.ip()
+		rec.DiedAt = d.dur()
+	case RecNodeFlip, RecSwitchFlip:
+		rec.Node = d.str()
+		rec.Dead = d.bool()
+	case RecMoveExpect:
+		rec.Adapter = d.ip()
+		rec.Deadline = d.dur()
+	case RecMoveDone:
+		rec.Adapter = d.ip()
+	case RecSnapshot:
+		rec.Snap = decodeState(d)
+	default:
+		if d.err == nil {
+			return rec, fmt.Errorf("%w: %d", ErrBadKind, byte(rec.Kind))
+		}
+	}
+	if d.err != nil {
+		return rec, d.err
+	}
+	if d.pos != len(b) {
+		return rec, fmt.Errorf("journal: %d trailing bytes", len(b)-d.pos)
+	}
+	return rec, nil
+}
+
+// encodeState writes a full state in deterministic (sorted) order.
+func encodeState(e *jenc, s *State) {
+	if s == nil {
+		s = NewState()
+	}
+	leaders := make([]transport.IP, 0, len(s.Groups))
+	for l := range s.Groups {
+		leaders = append(leaders, l)
+	}
+	sort.Slice(leaders, func(a, b int) bool { return leaders[a] < leaders[b] })
+	e.u16(uint16(len(leaders)))
+	for _, l := range leaders {
+		g := s.Groups[l]
+		e.ip(g.Leader)
+		e.u64(g.Version)
+		e.addr(g.Src)
+		e.u64(g.Seq)
+		e.u64(g.Epoch)
+		e.members(g.Members)
+	}
+	ips := make([]transport.IP, 0, len(s.Adapters))
+	for ip := range s.Adapters {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(a, b int) bool { return ips[a] < ips[b] })
+	e.u16(uint16(len(ips)))
+	for _, ip := range ips {
+		a := s.Adapters[ip]
+		e.member(a.Member)
+		e.bool(a.Alive)
+		e.ip(a.Group)
+		e.dur(a.DiedAt)
+	}
+	encodeStringSet(e, s.DeadNodes)
+	encodeStringSet(e, s.DeadSwitches)
+	moves := make([]transport.IP, 0, len(s.ExpectedMoves))
+	for ip := range s.ExpectedMoves {
+		moves = append(moves, ip)
+	}
+	sort.Slice(moves, func(a, b int) bool { return moves[a] < moves[b] })
+	e.u16(uint16(len(moves)))
+	for _, ip := range moves {
+		e.ip(ip)
+		e.dur(s.ExpectedMoves[ip])
+	}
+}
+
+func encodeStringSet(e *jenc, set map[string]bool) {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e.u16(uint16(len(names)))
+	for _, n := range names {
+		e.str(n)
+	}
+}
+
+func decodeState(d *jdec) *State {
+	s := NewState()
+	ng := int(d.u16())
+	if d.err != nil || ng > (len(d.buf)-d.pos)/8+1 {
+		d.fail("group count")
+		return s
+	}
+	for i := 0; i < ng; i++ {
+		g := &GroupState{}
+		g.Leader = d.ip()
+		g.Version = d.u64()
+		g.Src = d.addr()
+		g.Seq = d.u64()
+		g.Epoch = d.u64()
+		g.Members = d.members()
+		if d.err != nil {
+			return s
+		}
+		s.Groups[g.Leader] = g
+	}
+	na := int(d.u16())
+	if d.err != nil || na > (len(d.buf)-d.pos)/8+1 {
+		d.fail("adapter count")
+		return s
+	}
+	for i := 0; i < na; i++ {
+		var a AdapterState
+		a.Member = d.member()
+		a.Alive = d.bool()
+		a.Group = d.ip()
+		a.DiedAt = d.dur()
+		if d.err != nil {
+			return s
+		}
+		s.Adapters[a.Member.IP] = a
+	}
+	decodeStringSet(d, s.DeadNodes)
+	decodeStringSet(d, s.DeadSwitches)
+	nm := int(d.u16())
+	if d.err != nil || nm > (len(d.buf)-d.pos)/8+1 {
+		d.fail("move count")
+		return s
+	}
+	for i := 0; i < nm; i++ {
+		ip := d.ip()
+		dl := d.dur()
+		if d.err != nil {
+			return s
+		}
+		s.ExpectedMoves[ip] = dl
+	}
+	return s
+}
+
+func decodeStringSet(d *jdec, set map[string]bool) {
+	n := int(d.u16())
+	if d.err != nil || n > (len(d.buf)-d.pos)/2+1 {
+		d.fail("string set count")
+		return
+	}
+	for i := 0; i < n; i++ {
+		name := d.str()
+		if d.err != nil {
+			return
+		}
+		set[name] = true
+	}
+}
+
+// --- CRC frames (file backend) ---
+
+// A frame is [u32 payload length][u32 CRC-32/IEEE of payload][payload].
+// The length cap rejects garbage lengths from a corrupt header before any
+// large allocation.
+const maxFramePayload = 16 << 20
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// appendFrame appends one CRC frame for payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// readFrame parses one frame at buf[off:]. It returns the payload and the
+// offset just past the frame, or ok=false if the frame is truncated or
+// fails its CRC — the torn-tail signal.
+func readFrame(buf []byte, off int) (payload []byte, next int, ok bool) {
+	if off+8 > len(buf) {
+		return nil, off, false
+	}
+	n := int(binary.BigEndian.Uint32(buf[off:]))
+	if n > maxFramePayload || off+8+n > len(buf) {
+		return nil, off, false
+	}
+	sum := binary.BigEndian.Uint32(buf[off+4:])
+	payload = buf[off+8 : off+8+n]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, off, false
+	}
+	return payload, off + 8 + n, true
+}

@@ -1,0 +1,167 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileStore persists the journal in a directory:
+//
+//	<dir>/snapshot.gsj — one CRC frame holding the snapshot basis
+//	<dir>/journal.gsj  — CRC frames, one record each, appended in order
+//
+// Snapshots are written to a temp file and renamed into place, so a crash
+// mid-snapshot leaves the previous basis intact. Appends are frames too:
+// a torn tail (partial write on crash) fails its length or CRC check and
+// Load truncates the log back to the last whole record.
+type FileStore struct {
+	dir  string
+	sync bool
+	log  *os.File
+}
+
+// FileOptions tunes a FileStore.
+type FileOptions struct {
+	// Sync fsyncs the log after every append. Durable against power loss,
+	// but costs a disk flush per state transition.
+	Sync bool
+}
+
+const (
+	snapName = "snapshot.gsj"
+	logName  = "journal.gsj"
+)
+
+// NewFileStore opens (creating if needed) a journal directory.
+func NewFileStore(dir string, opts FileOptions) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &FileStore{dir: dir, sync: opts.Sync}, nil
+}
+
+func (f *FileStore) snapPath() string { return filepath.Join(f.dir, snapName) }
+func (f *FileStore) logPath() string  { return filepath.Join(f.dir, logName) }
+
+// openLog lazily opens the append handle.
+func (f *FileStore) openLog() error {
+	if f.log != nil {
+		return nil
+	}
+	lf, err := os.OpenFile(f.logPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	f.log = lf
+	return nil
+}
+
+// Append implements Store.
+func (f *FileStore) Append(rec Record) error {
+	if err := f.openLog(); err != nil {
+		return err
+	}
+	frame := appendFrame(nil, EncodeRecord(rec))
+	if _, err := f.log.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if f.sync {
+		if err := f.log.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// SetSnapshot implements Store: atomically replace the basis, then reset
+// the log.
+func (f *FileStore) SetSnapshot(snap Snapshot) error {
+	rec := Record{Epoch: snap.Epoch, Seq: snap.Seq, Kind: RecSnapshot, Snap: snap.State}
+	frame := appendFrame(nil, EncodeRecord(rec))
+	tmp := f.snapPath() + ".tmp"
+	if err := os.WriteFile(tmp, frame, 0o644); err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, f.snapPath()); err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	// The snapshot covers everything appended so far; start the log over.
+	if f.log != nil {
+		_ = f.log.Close()
+		f.log = nil
+	}
+	if err := os.Truncate(f.logPath(), 0); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("journal: truncate: %w", err)
+	}
+	return nil
+}
+
+// Load implements Store. A torn or corrupt log tail is truncated away; a
+// corrupt snapshot is treated as absent (and the log, whose baseline it
+// was, is discarded with it).
+func (f *FileStore) Load() (Snapshot, []Record, error) {
+	var snap Snapshot
+	if buf, err := os.ReadFile(f.snapPath()); err == nil {
+		if payload, _, ok := readFrame(buf, 0); ok {
+			if rec, err := DecodeRecord(payload); err == nil && rec.Kind == RecSnapshot {
+				snap = Snapshot{Epoch: rec.Epoch, Seq: rec.Seq, State: rec.Snap}
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return snap, nil, fmt.Errorf("journal: %w", err)
+	}
+
+	buf, err := os.ReadFile(f.logPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return snap, nil, nil
+		}
+		return snap, nil, fmt.Errorf("journal: %w", err)
+	}
+	var recs []Record
+	off := 0
+	for off < len(buf) {
+		payload, next, ok := readFrame(buf, off)
+		if !ok {
+			// Torn tail: keep the whole records, drop the rest on disk so
+			// subsequent appends continue from a clean boundary.
+			_ = os.Truncate(f.logPath(), int64(off))
+			break
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			// A framed-but-unparseable record also ends the usable log.
+			_ = os.Truncate(f.logPath(), int64(off))
+			break
+		}
+		recs = append(recs, rec)
+		off = next
+	}
+	// Keep only the contiguous run that extends the snapshot basis (seq
+	// snap.Seq+1, snap.Seq+2, ...). Anything else — records predating the
+	// basis, or a gap after a partial truncation — is unusable.
+	kept := recs[:0]
+	next := snap.Seq + 1
+	if snap.State == nil {
+		next = 1 // no basis: only a log self-contained from seq 1 replays
+	}
+	for _, rec := range recs {
+		if rec.Seq != next {
+			break
+		}
+		kept = append(kept, rec)
+		next++
+	}
+	return snap, kept, nil
+}
+
+// Close implements Store.
+func (f *FileStore) Close() error {
+	if f.log != nil {
+		err := f.log.Close()
+		f.log = nil
+		return err
+	}
+	return nil
+}

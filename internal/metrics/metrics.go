@@ -24,6 +24,8 @@ func Plane(port uint16) string {
 		return "heartbeat"
 	case transport.PortReport:
 		return "report"
+	case transport.PortJournal:
+		return "journal"
 	case transport.PortSNMP:
 		return "snmp"
 	default:

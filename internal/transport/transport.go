@@ -60,6 +60,7 @@ const (
 	PortMember    uint16 = 7401 // 2PC membership traffic, joins, merges
 	PortHeartbeat uint16 = 7402 // heartbeats, suspicions, probes, pings
 	PortReport    uint16 = 7403 // AMG-leader -> GulfStream Central reports
+	PortJournal   uint16 = 7404 // journal stream: active Central -> warm standby
 	PortSNMP      uint16 = 161  // switch management agents
 )
 

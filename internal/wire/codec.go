@@ -49,6 +49,11 @@ func (e *enc) members(ms []Member) {
 	}
 }
 
+func (e *enc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
 func (e *enc) ips(ips []transport.IP) {
 	e.u16(uint16(len(ips)))
 	for _, ip := range ips {
@@ -159,6 +164,21 @@ func (d *dec) members() []Member {
 		}
 	}
 	return ms
+}
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if d.pos+n > len(d.buf) {
+		d.fail("bytes body")
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.pos:d.pos+n])
+	d.pos += n
+	return b
 }
 
 func (d *dec) ips() []transport.IP {
@@ -463,3 +483,29 @@ func (m *Evict) unmarshal(d *dec) {
 func (m *ResyncRequest) marshal(e *enc) { e.ip(m.From) }
 
 func (m *ResyncRequest) unmarshal(d *dec) { m.From = d.ip() }
+
+func (m *JournalAppend) marshal(e *enc) {
+	e.ip(m.From)
+	e.u64(m.Epoch)
+	e.u64(m.Seq)
+	e.bytes(m.Payload)
+}
+
+func (m *JournalAppend) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Epoch = d.u64()
+	m.Seq = d.u64()
+	m.Payload = d.bytes()
+}
+
+func (m *JournalAck) marshal(e *enc) {
+	e.ip(m.From)
+	e.u64(m.Epoch)
+	e.u64(m.Seq)
+}
+
+func (m *JournalAck) unmarshal(d *dec) {
+	m.From = d.ip()
+	m.Epoch = d.u64()
+	m.Seq = d.u64()
+}

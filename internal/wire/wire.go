@@ -40,31 +40,35 @@ const (
 	TSubPollAck
 	TEvict
 	TResync
+	TJournalAppend
+	TJournalAck
 	tMax
 )
 
 var typeNames = [...]string{
-	TBeacon:      "beacon",
-	TPrepare:     "prepare",
-	TPrepareAck:  "prepare-ack",
-	TCommit:      "commit",
-	TAbort:       "abort",
-	TJoinRequest: "join-request",
-	TMergeOffer:  "merge-offer",
-	THeartbeat:   "heartbeat",
-	TSuspect:     "suspect",
-	TProbe:       "probe",
-	TProbeAck:    "probe-ack",
-	TPing:        "ping",
-	TPingAck:     "ping-ack",
-	TPingReq:     "ping-req",
-	TReport:      "report",
-	TReportAck:   "report-ack",
-	TDisable:     "disable",
-	TSubPoll:     "subpoll",
-	TSubPollAck:  "subpoll-ack",
-	TEvict:       "evict",
-	TResync:      "resync",
+	TBeacon:        "beacon",
+	TPrepare:       "prepare",
+	TPrepareAck:    "prepare-ack",
+	TCommit:        "commit",
+	TAbort:         "abort",
+	TJoinRequest:   "join-request",
+	TMergeOffer:    "merge-offer",
+	THeartbeat:     "heartbeat",
+	TSuspect:       "suspect",
+	TProbe:         "probe",
+	TProbeAck:      "probe-ack",
+	TPing:          "ping",
+	TPingAck:       "ping-ack",
+	TPingReq:       "ping-req",
+	TReport:        "report",
+	TReportAck:     "report-ack",
+	TDisable:       "disable",
+	TSubPoll:       "subpoll",
+	TSubPollAck:    "subpoll-ack",
+	TEvict:         "evict",
+	TResync:        "resync",
+	TJournalAppend: "journal-append",
+	TJournalAck:    "journal-ack",
 }
 
 func (t Type) String() string {
@@ -433,6 +437,35 @@ type ResyncRequest struct {
 // Type implements Message.
 func (*ResyncRequest) Type() Type { return TResync }
 
+// JournalAppend streams one state-journal record from the active
+// GulfStream Central to its warm standby (the next-in-line administrative
+// adapter). Payload is an internal/journal-encoded record; Epoch and Seq
+// repeat the record's position so the receiver can order and ack without
+// decoding. The stream makes failover O(delta): the standby replays its
+// journal instead of multicast-pulling every group's full report.
+type JournalAppend struct {
+	From    transport.IP
+	Epoch   uint64
+	Seq     uint64
+	Payload []byte
+}
+
+// Type implements Message.
+func (*JournalAppend) Type() Type { return TJournalAppend }
+
+// JournalAck is the standby's cumulative acknowledgement: every record up
+// to and including Seq has been applied to its local journal. The active
+// Central retransmits from Seq+1 (or restarts with a snapshot record when
+// the standby has fallen behind its retained window).
+type JournalAck struct {
+	From  transport.IP
+	Epoch uint64
+	Seq   uint64
+}
+
+// Type implements Message.
+func (*JournalAck) Type() Type { return TJournalAck }
+
 // newByType allocates the zero message for a wire type.
 func newByType(t Type) Message {
 	switch t {
@@ -478,6 +511,10 @@ func newByType(t Type) Message {
 		return &Evict{}
 	case TResync:
 		return &ResyncRequest{}
+	case TJournalAppend:
+		return &JournalAppend{}
+	case TJournalAck:
+		return &JournalAck{}
 	default:
 		return nil
 	}

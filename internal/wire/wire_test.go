@@ -38,6 +38,8 @@ func sampleMessages() []Message {
 		&Disable{Target: ip4(10, 0, 0, 8), Reason: "vlan mismatch vs configdb"},
 		&SubPoll{From: ip4(10, 0, 0, 9), Subgroup: 3, Nonce: 99},
 		&SubPollAck{From: ip4(10, 0, 0, 7), Subgroup: 3, Nonce: 99, Alive: 8},
+		&JournalAppend{From: ip4(10, 0, 1, 1), Epoch: 2, Seq: 17, Payload: []byte{0xca, 0xfe, 0x01}},
+		&JournalAck{From: ip4(10, 0, 1, 2), Epoch: 2, Seq: 17},
 	}
 }
 
@@ -81,6 +83,34 @@ func norm(m Message) {
 		if len(v.Left) == 0 {
 			v.Left = nil
 		}
+	case *JournalAppend:
+		if len(v.Payload) == 0 {
+			v.Payload = nil
+		}
+	}
+}
+
+// TestEvictRoundTrip pins the Evict layout field by field: eviction is the
+// stale-view healing path (leader expels a straggler so it rediscovers),
+// and a silently dropped field would strand the straggler forever.
+func TestEvictRoundTrip(t *testing.T) {
+	sent := &Evict{Leader: ip4(10, 0, 2, 9), Target: ip4(10, 0, 2, 4), Version: 31}
+	got, err := Decode(Encode(sent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := got.(*Evict)
+	if !ok {
+		t.Fatalf("decoded to %T", got)
+	}
+	if ev.Leader != sent.Leader {
+		t.Errorf("Leader = %v, want %v", ev.Leader, sent.Leader)
+	}
+	if ev.Target != sent.Target {
+		t.Errorf("Target = %v, want %v", ev.Target, sent.Target)
+	}
+	if ev.Version != sent.Version {
+		t.Errorf("Version = %d, want %d", ev.Version, sent.Version)
 	}
 }
 
@@ -89,6 +119,7 @@ func TestEmptyCollectionsRoundTrip(t *testing.T) {
 		&Prepare{Leader: ip4(1, 2, 3, 4), Op: OpForm},
 		&Report{Leader: ip4(1, 2, 3, 4)},
 		&MergeOffer{From: ip4(1, 2, 3, 4)},
+		&JournalAppend{From: ip4(1, 2, 3, 4), Epoch: 1, Seq: 1},
 	}
 	for _, m := range msgs {
 		got, err := Decode(Encode(m))
