@@ -7,8 +7,8 @@
 //
 // With no arguments it runs everything. Experiments: fig5, formula1,
 // beaconloss, detector, hbload, failover, move, merge, centralload,
-// verify, tb0, journal. -quick runs scaled-down variants (seconds
-// instead of minutes).
+// verify, tb0, journal, phases, trace. -quick runs scaled-down variants
+// (seconds instead of minutes).
 package main
 
 import (
@@ -115,6 +115,21 @@ func runners() []runner {
 				o.AdminNodes, o.UniformNodes, o.Trials = 3, 5, 1
 			}
 			return exp.JournalFailover(o)
+		}},
+		{"phases", "E13: cold-start stabilization decomposed by protocol phase (flight recorder)", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultPhases()
+			if q {
+				o.AdminNodes, o.UniformNodes, o.Trials = 2, 4, 1
+			}
+			return exp.Phases(o)
+		}},
+		{"trace", "E13b: flight-recorder capture overhead, recorder off vs on", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultTraceOverhead()
+			if q {
+				o.AdminNodes, o.UniformNodes = 2, 4
+				o.Window, o.Trials = 15*time.Second, 1
+			}
+			return exp.TraceOverhead(o)
 		}},
 	}
 }

@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	gsctl [-admin 2] [-domains acme:2:3,globex:2:3] [-uniform N[:adapters]] [-journal]
+//	gsctl [-admin 2] [-domains acme:2:3,globex:2:3] [-uniform N[:adapters]] [-journal] [-trace=false]
 //
 // Commands: help, run <seconds>, status, groups, events [n], kill <node>,
 // restart <node>, killsw <switch>, restoresw <switch>, move <node> <domain>,
-// fail <adapter> <recv|send|stop|ok>, verify, journal, metrics, quit.
+// fail <adapter> <recv|send|stop|ok>, verify, journal, metrics, trace,
+// health, quit.
 // With -journal every node keeps a state journal; the journal command
 // shows each node's replay position and who the warm standby is.
+// The flight recorder is on by default: "trace [n]" shows the last n
+// protocol transitions, "trace txns" the correlated 2PC timelines,
+// "trace <filter>" records matching a kind/node substring, and
+// "trace json" the raw dump; "health" summarizes per-node daemon and
+// adapter state.
 package main
 
 import (
@@ -34,12 +40,14 @@ func main() {
 		domains  = flag.String("domains", "acme:2:3,globex:2:3", "domains as name:frontends:backends,...")
 		uniform  = flag.String("uniform", "", "uniform nodes as N[:adaptersPerNode] (replaces -domains)")
 		journals = flag.Bool("journal", false, "give every node a state journal (inspect with the journal command)")
+		traceOn  = flag.Bool("trace", true, "record protocol transitions in the flight recorder (inspect with the trace command)")
+		traceCap = flag.Int("trace-cap", 0, "flight recorder ring capacity (0 = default)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
 
 	spec := gulfstream.Spec{Seed: *seed, AdminNodes: *admin, StartSkew: 2 * time.Second,
-		RecordEvents: true, Journal: *journals}
+		RecordEvents: true, Journal: *journals, Trace: *traceOn, TraceCapacity: *traceCap}
 	if *uniform != "" {
 		parts := strings.SplitN(*uniform, ":", 2)
 		n, err := strconv.Atoi(parts[0])
@@ -96,7 +104,7 @@ func repl(f *gulfstream.Farm, in io.Reader, out io.Writer) {
 		case "help":
 			fmt.Fprintln(out, "run <s> | status | groups | events [n] | kill <node> | restart <node> |")
 			fmt.Fprintln(out, "killsw <sw> | restoresw <sw> | move <node> <domain> | fail <adapter> <mode> |")
-			fmt.Fprintln(out, "verify | journal | metrics | quit")
+			fmt.Fprintln(out, "verify | journal | metrics | trace [n|txns|json|<filter>] | health | quit")
 		case "run":
 			secs := 10.0
 			if len(args) > 1 {
@@ -211,9 +219,120 @@ func repl(f *gulfstream.Farm, in io.Reader, out io.Writer) {
 			}
 		case "metrics":
 			fmt.Fprint(out, f.Metrics.Summary())
+		case "trace":
+			cmdTrace(f, out, args[1:])
+		case "health":
+			cmdHealth(f, out)
 		default:
 			fmt.Fprintf(out, "unknown command %q (try help)\n", args[0])
 		}
+	}
+}
+
+// cmdTrace renders the flight recorder: the last n records, the
+// correlated 2PC transaction timelines, a raw JSON dump, or records
+// matching a kind/node substring filter.
+func cmdTrace(f *gulfstream.Farm, out io.Writer, args []string) {
+	if !f.Trace.Enabled() && f.Trace.Total() == 0 {
+		fmt.Fprintln(out, "flight recorder disabled (start gsctl without -trace=false)")
+		return
+	}
+	n := 20
+	mode := ""
+	if len(args) > 0 {
+		if v, err := strconv.Atoi(args[0]); err == nil {
+			n = v
+		} else {
+			mode = args[0]
+		}
+	}
+	switch mode {
+	case "json":
+		if err := f.Trace.WriteJSON(out); err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+		}
+	case "txns":
+		txns := gulfstream.TraceTxns(f.Trace.Snapshot())
+		if len(txns) > n {
+			txns = txns[len(txns)-n:]
+		}
+		if len(txns) == 0 {
+			fmt.Fprintln(out, "no 2PC transactions recorded")
+			return
+		}
+		for _, t := range txns {
+			fmt.Fprintf(out, "txn %s (%d records)\n", t.ID(), len(t.Records))
+			for _, rec := range t.Records {
+				fmt.Fprintf(out, "    %v\n", rec)
+			}
+		}
+	case "":
+		recs := f.Trace.Snapshot()
+		if len(recs) > n {
+			recs = recs[len(recs)-n:]
+		}
+		fmt.Fprintf(out, "%d captured, %d dropped; showing %d:\n",
+			f.Trace.Total(), f.Trace.Dropped(), len(recs))
+		for _, rec := range recs {
+			fmt.Fprintf(out, "  %v\n", rec)
+		}
+	default:
+		recs := f.Trace.Filter(func(rec gulfstream.TraceRecord) bool {
+			return strings.Contains(rec.Kind.String(), mode) || rec.Node == mode
+		})
+		if len(recs) > n {
+			recs = recs[len(recs)-n:]
+		}
+		fmt.Fprintf(out, "%d matching %q:\n", len(recs), mode)
+		for _, rec := range recs {
+			fmt.Fprintf(out, "  %v\n", rec)
+		}
+	}
+}
+
+// cmdHealth summarizes each node: daemon liveness, per-adapter committed
+// view, leadership, and who hosts Central.
+func cmdHealth(f *gulfstream.Farm, out io.Writer) {
+	names := make([]string, 0, len(f.Nodes))
+	for name := range f.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := f.Daemons[name]
+		status := "up"
+		if !d.Running() {
+			status = "DOWN"
+		}
+		host := ""
+		if d.Running() && d.HostingCentral() {
+			host = "  <- hosts Central"
+		}
+		fmt.Fprintf(out, "  %-12s %-4s%s\n", name, status, host)
+		if !d.Running() {
+			continue
+		}
+		leading := make(map[gulfstream.IP]bool)
+		for _, ip := range d.Leading() {
+			leading[ip] = true
+		}
+		for _, ip := range f.Nodes[name].Adapters {
+			v, ok := d.View(ip)
+			if !ok {
+				fmt.Fprintf(out, "      %-15v (no committed view)\n", ip)
+				continue
+			}
+			role := "member of " + v.Leader().String()
+			if leading[ip] {
+				role = "leader"
+			}
+			fmt.Fprintf(out, "      %-15v v%-4d %2d members  %s\n", ip, v.Version, v.Size(), role)
+		}
+	}
+	if c := f.ActiveCentral(); c != nil {
+		fmt.Fprintf(out, "  central: %d groups, stable=%v\n", c.GroupCount(), c.Stable())
+	} else {
+		fmt.Fprintln(out, "  central: none active")
 	}
 }
 

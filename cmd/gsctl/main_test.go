@@ -134,3 +134,66 @@ func TestReplMove(t *testing.T) {
 		t.Errorf("post-move verify not clean:\n%s", out)
 	}
 }
+
+func TestReplTraceAndHealth(t *testing.T) {
+	f, err := gulfstream.NewFarm(gulfstream.Spec{
+		Seed:         9,
+		AdminNodes:   2,
+		Domains:      []gulfstream.DomainSpec{{Name: "acme", FrontEnds: 1, BackEnds: 2}},
+		StartSkew:    time.Second,
+		RecordEvents: true,
+		Trace:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	out := runScript(t, f, strings.Join([]string{
+		"run 40",
+		"trace 10",
+		"trace txns",
+		"trace view-commit",
+		"trace mgmt-00",
+		"health",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"captured",               // trace header
+		"txn ",                   // correlated 2PC timeline
+		"2pc-prepare-sent",       // inside the txn dump
+		"2pc-commit-sent",        // the round committed
+		`matching "view-commit"`, // kind filter
+		`matching "mgmt-00"`,     // node filter
+		"hosts Central",          // health marks the elected node
+		"leader",                 // health shows adapter roles
+		"stable=true",            // central line
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplTraceDisabled(t *testing.T) {
+	f := testFarm(t) // Spec.Trace unset: recorder present but disabled
+	out := runScript(t, f, "trace\nquit\n")
+	if !strings.Contains(out, "flight recorder disabled") {
+		t.Errorf("expected disabled hint:\n%s", out)
+	}
+}
+
+func TestReplTraceJSON(t *testing.T) {
+	f, err := gulfstream.NewFarm(gulfstream.Spec{
+		Seed: 3, AdminNodes: 2, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	out := runScript(t, f, "run 20\ntrace json\nquit\n")
+	for _, want := range []string{`"records"`, `"kind"`, `"total"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("json dump missing %q:\n%s", want, out)
+		}
+	}
+}

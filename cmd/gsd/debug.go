@@ -1,0 +1,195 @@
+// HTTP debug endpoint: Prometheus-text metrics, flight-recorder dumps,
+// a liveness/health snapshot, expvar, and pprof, served off the protocol
+// event loop so handlers never touch daemon state directly.
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/central"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// adapterHealth is one adapter's row in the /healthz document.
+type adapterHealth struct {
+	Adapter string `json:"adapter"`
+	Role    string `json:"role"` // "leader", "member", or "discovering"
+	Leader  string `json:"leader,omitempty"`
+	Version uint64 `json:"version,omitempty"`
+	Members int    `json:"members,omitempty"`
+}
+
+// healthSnapshot is the /healthz document. It is assembled on the
+// protocol event loop and published through an atomic pointer, so the
+// HTTP handler serves a consistent (if up to ~2s stale) view without
+// racing the single-threaded daemon.
+type healthSnapshot struct {
+	Node           string          `json:"node"`
+	UptimeSec      float64         `json:"uptime_sec"`
+	Adapters       []adapterHealth `json:"adapters"`
+	HostingCentral bool            `json:"hosting_central"`
+	CentralGroups  int             `json:"central_groups,omitempty"`
+	CentralStable  bool            `json:"central_stable,omitempty"`
+	TraceTotal     uint64          `json:"trace_total"`
+	TraceDropped   uint64          `json:"trace_dropped"`
+}
+
+// healthRefreshEvery is how often the event loop republishes /healthz.
+const healthRefreshEvery = 2 * time.Second
+
+// startDebug wires the debug HTTP server and schedules the health
+// snapshot refresher on the runtime event loop. It returns after the
+// listener goroutine is launched.
+func startDebug(addr, node string, rt *transport.Runtime, eps []transport.Endpoint,
+	d *core.Daemon, ctr *central.Central, rec *trace.Recorder, reg *metrics.Registry) {
+
+	var cur atomic.Pointer[healthSnapshot]
+
+	collect := func() *healthSnapshot {
+		s := &healthSnapshot{
+			Node:         node,
+			UptimeSec:    rt.Now().Seconds(),
+			TraceTotal:   rec.Total(),
+			TraceDropped: rec.Dropped(),
+		}
+		for _, ep := range eps {
+			row := adapterHealth{Adapter: ep.LocalIP().String(), Role: "discovering"}
+			if v, ok := d.View(ep.LocalIP()); ok {
+				row.Role = "member"
+				if v.Leader() == ep.LocalIP() {
+					row.Role = "leader"
+				}
+				row.Leader = v.Leader().String()
+				row.Version = v.Version
+				row.Members = v.Size()
+			}
+			s.Adapters = append(s.Adapters, row)
+		}
+		sort.Slice(s.Adapters, func(i, j int) bool { return s.Adapters[i].Adapter < s.Adapters[j].Adapter })
+		if s.HostingCentral = d.HostingCentral(); s.HostingCentral {
+			s.CentralGroups = ctr.GroupCount()
+			s.CentralStable = ctr.Stable()
+		}
+		return s
+	}
+	var refresh func()
+	refresh = func() {
+		cur.Store(collect())
+		rt.AfterFunc(healthRefreshEvery, refresh)
+	}
+	rt.AfterFunc(0, refresh)
+
+	expvar.Publish("gulfstream", expvar.Func(func() any {
+		return map[string]any{
+			"node":          node,
+			"trace_total":   rec.Total(),
+			"trace_dropped": rec.Dropped(),
+			"trace_enabled": rec.Enabled(),
+		}
+	}))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteProm(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		serveTrace(w, r, rec)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s := cur.Load()
+		if s == nil {
+			http.Error(w, `{"status":"starting"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(s)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("gsd: debug endpoint: %v", err)
+		}
+	}()
+	log.Printf("gsd: debug endpoint on http://%s (/metrics /trace /healthz /debug/vars /debug/pprof)", addr)
+}
+
+// serveTrace dumps the flight recorder. With no query parameters the
+// whole retained window is returned in the standard dump envelope;
+// ?kind=<substring> filters by record kind, ?node=<substring> by node
+// name, ?n=<count> keeps only the most recent matches, and ?txns=1
+// groups 2PC records by transaction instead.
+func serveTrace(w http.ResponseWriter, r *http.Request, rec *trace.Recorder) {
+	q := r.URL.Query()
+	kind, node := q.Get("kind"), q.Get("node")
+	n := 0
+	if s := q.Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, fmt.Sprintf(`{"error":"bad n %q"}`, s), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	records := rec.Filter(func(rc trace.Record) bool {
+		if kind != "" && !strings.Contains(rc.Kind.String(), kind) {
+			return false
+		}
+		if node != "" && !strings.Contains(rc.Node, node) {
+			return false
+		}
+		return true
+	})
+	if n > 0 && len(records) > n {
+		records = records[len(records)-n:]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if q.Get("txns") != "" {
+		type txnJSON struct {
+			ID      string         `json:"id"`
+			Records []trace.Record `json:"records"`
+		}
+		out := []txnJSON{}
+		for _, t := range trace.Txns(records) {
+			out = append(out, txnJSON{ID: t.ID(), Records: t.Records})
+		}
+		enc.Encode(out)
+		return
+	}
+	if kind == "" && node == "" && n == 0 {
+		rec.WriteJSON(w)
+		return
+	}
+	if records == nil {
+		records = []trace.Record{}
+	}
+	enc.Encode(struct {
+		Total   uint64         `json:"total"`
+		Dropped uint64         `json:"dropped"`
+		Records []trace.Record `json:"records"`
+	}{rec.Total(), rec.Dropped(), records})
+}

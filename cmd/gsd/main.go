@@ -37,6 +37,8 @@ import (
 	"repro/internal/detect"
 	"repro/internal/event"
 	"repro/internal/journal"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -54,6 +56,9 @@ func main() {
 		community  = flag.String("community", "farm-admin", "SNMP community for switch management")
 		journalDir = flag.String("journal-dir", "", "directory for Central's durable state journal (empty = journal off)")
 		seed       = flag.Int64("seed", 0, "randomness seed (0 = time-based)")
+		debugAddr  = flag.String("debug-addr", "", "HTTP debug listen address serving /metrics, /trace, /healthz, /debug/vars, /debug/pprof (empty = off)")
+		traceOn    = flag.Bool("trace", true, "capture protocol flight-recorder records")
+		traceCap   = flag.Int("trace-cap", 0, "flight recorder capacity in records (0 = default)")
 	)
 	flag.Parse()
 	if *node == "" || *adapters == "" {
@@ -131,6 +136,19 @@ func main() {
 		log.Fatal(err)
 	}
 	d.SetCentral(ctr)
+
+	// Flight recorder + telemetry registry. The recorder is always
+	// installed (a disabled recorder costs one atomic load per capture
+	// site); the registry is fed from recorder records via the bridge.
+	rec := trace.New(*traceCap)
+	rec.Enable(*traceOn)
+	reg := metrics.NewRegistry()
+	rec.AddSink(metrics.ObserveTrace(reg))
+	d.SetTracer(rec)
+	ctr.SetTracer(rec, *node)
+	if *debugAddr != "" {
+		startDebug(*debugAddr, *node, rt, eps, d, ctr, rec, reg)
+	}
 
 	// Start inside the event loop so all protocol work is serialized.
 	rt.AfterFunc(0, func() {

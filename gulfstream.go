@@ -10,7 +10,9 @@ import (
 	"repro/internal/detect"
 	"repro/internal/event"
 	"repro/internal/farm"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -69,6 +71,19 @@ type (
 
 	// FailureMode enumerates adapter failure modes for fault injection.
 	FailureMode = netsim.FailureMode
+
+	// TraceRecorder is the bounded protocol flight recorder capturing
+	// every protocol state transition (see Farm.Trace and Spec.Trace).
+	TraceRecorder = trace.Recorder
+	// TraceRecord is one captured protocol state transition.
+	TraceRecord = trace.Record
+	// TraceKind classifies trace records.
+	TraceKind = trace.Kind
+	// Txn is the correlated timeline of one 2PC membership transaction.
+	Txn = trace.Txn
+	// MetricsRegistry aggregates traffic counters and named instruments
+	// (counters, gauges, histograms) fed by the flight recorder.
+	MetricsRegistry = metrics.Registry
 )
 
 // Detector kinds.
@@ -128,6 +143,10 @@ func DefaultDetectorParams() DetectorParams { return detect.Defaults() }
 
 // ParseIP parses a dotted-quad IPv4 address.
 func ParseIP(s string) (IP, bool) { return transport.ParseIP(s) }
+
+// TraceTxns groups a trace dump's 2PC records by transaction id
+// (leader#token), ordered by each transaction's first capture.
+func TraceTxns(records []TraceRecord) []Txn { return trace.Txns(records) }
 
 // MakeIP builds an IP from dotted-quad components.
 func MakeIP(a, b, c, d byte) IP { return transport.MakeIP(a, b, c, d) }

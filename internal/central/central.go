@@ -18,6 +18,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/journal"
 	"repro/internal/snmp"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -119,6 +120,11 @@ type Central struct {
 	jr     *journal.Journal
 	stream stream
 
+	// tracer, when set, receives flight-recorder records labeled with the
+	// hosting node's name (trace.go).
+	tracer    *trace.Recorder
+	traceNode string
+
 	lastChange  time.Duration
 	everChanged bool
 
@@ -167,6 +173,12 @@ func (c *Central) Activate(admin transport.Endpoint) {
 	if !restored {
 		c.groups = make(map[transport.IP]*group)
 	}
+	det := "cold"
+	if restored {
+		det = "restored"
+		c.trace(trace.Record{Kind: trace.KJournalReplayed, Count: uint32(len(c.groups))})
+	}
+	c.trace(trace.Record{Kind: trace.KCentralActivated, Count: uint32(len(c.groups)), Detail: det})
 	c.lastSeq = make(map[transport.IP]uint64)
 	c.limbo = make(map[transport.IP]time.Duration)
 	c.resetStream()
@@ -202,6 +214,8 @@ func (c *Central) requestGroupResync(g *group) {
 	}
 	g.resyncAt = now
 	g.resynced = true
+	c.trace(trace.Record{Kind: trace.KResyncSent, Peer: g.src.IP,
+		Group: g.leader, Version: g.version, Detail: "group"})
 	req := wire.Encode(&wire.ResyncRequest{From: c.ep.LocalIP()})
 	_ = c.ep.Unicast(transport.PortReport, g.src, req)
 }
@@ -211,6 +225,7 @@ func (c *Central) requestResync(times int) {
 	if !c.active || c.ep == nil || times <= 0 {
 		return
 	}
+	c.trace(trace.Record{Kind: trace.KResyncSent, Detail: "multicast"})
 	req := wire.Encode(&wire.ResyncRequest{From: c.ep.LocalIP()})
 	_ = c.ep.Multicast(transport.PortReport,
 		transport.Addr{IP: transport.BeaconGroup, Port: transport.PortReport}, req)
@@ -219,6 +234,7 @@ func (c *Central) requestResync(times int) {
 
 // Deactivate implements core.CentralHook.
 func (c *Central) Deactivate() {
+	c.trace(trace.Record{Kind: trace.KCentralDeactivated, Count: uint32(len(c.groups))})
 	c.active = false
 	c.resetStream()
 	if c.sweepTimer != nil {
@@ -333,6 +349,12 @@ func (c *Central) HandleReport(src transport.Addr, r *wire.Report) {
 		return // duplicate of an already-applied report
 	}
 	c.lastSeq[src.IP] = r.Seq
+	det := "delta"
+	if r.Full {
+		det = "full"
+	}
+	c.trace(trace.Record{Kind: trace.KReportApplied, Peer: src.IP,
+		Group: r.Leader, Version: r.Version, Token: r.Seq, Detail: det})
 	if c.OnReport != nil {
 		c.OnReport(src, r)
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -240,6 +241,8 @@ func (c *Central) streamRecord(rec journal.Record) {
 }
 
 func (c *Central) sendAppend(rec journal.Record) {
+	c.trace(trace.Record{Kind: trace.KJournalStreamed, Peer: c.stream.peer,
+		Version: rec.Epoch, Token: rec.Seq})
 	pkt := wire.Encode(&wire.JournalAppend{
 		From:    c.ep.LocalIP(),
 		Epoch:   rec.Epoch,
@@ -323,6 +326,8 @@ func (c *Central) HandleJournal(ep transport.Endpoint, src transport.Addr, msg w
 		if err != nil {
 			return
 		}
+		c.trace(trace.Record{Kind: trace.KJournalIngested, Peer: src.IP,
+			Version: rec.Epoch, Token: rec.Seq})
 		c.jr.Ingest(rec)
 		// Ack our position regardless: a rejected gap record makes the
 		// active see a stale ack and re-base us with a snapshot.

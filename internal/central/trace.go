@@ -1,0 +1,24 @@
+package central
+
+import "repro/internal/trace"
+
+// SetTracer installs the protocol flight recorder, labeling records with
+// the hosting node's name. Records carry the administrative adapter as
+// Self once Central has been activated.
+func (c *Central) SetTracer(r *trace.Recorder, node string) {
+	c.tracer = r
+	c.traceNode = node
+}
+
+// trace stamps and captures one flight-recorder record.
+func (c *Central) trace(rec trace.Record) {
+	if c.tracer == nil {
+		return
+	}
+	rec.T = c.clock.Now()
+	rec.Node = c.traceNode
+	if c.ep != nil {
+		rec.Self = c.ep.LocalIP()
+	}
+	c.tracer.Record(rec)
+}

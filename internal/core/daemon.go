@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/amg"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -68,6 +69,7 @@ type Daemon struct {
 	reporter *reporter
 	central  CentralHook
 	hooks    Hooks
+	tracer   *trace.Recorder
 
 	// centralIP is the current administrative AMG leader (0 if unknown).
 	centralIP transport.IP

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/amg"
 	"repro/internal/detect"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -168,6 +169,7 @@ func (p *adapterProto) sendBeacon() {
 	}
 	_ = p.ep.Multicast(transport.PortBeacon,
 		transport.Addr{IP: transport.BeaconGroup, Port: transport.PortBeacon}, wire.Encode(b))
+	p.trace(trace.Record{Kind: trace.KBeaconSent, Group: b.Leader, Version: b.Version})
 }
 
 func (p *adapterProto) beaconLoop() {
@@ -204,6 +206,7 @@ func (p *adapterProto) endBeaconPhase() {
 		if p.d.hooks.Formed != nil {
 			p.d.hooks.Formed(p.self, len(members))
 		}
+		p.trace(trace.Record{Kind: trace.KFormed, Count: uint32(len(members))})
 		p.becomeLeader()
 		p.lead.startChange(wire.OpForm, amg.New(1, members))
 		return
@@ -280,6 +283,7 @@ func (p *adapterProto) onBeaconPacket(src, _ transport.Addr, payload []byte) {
 func (p *adapterProto) onBeacon(b *wire.Beacon) {
 	switch p.state {
 	case stBeaconing:
+		p.trace(trace.Record{Kind: trace.KBeaconHeard, Peer: b.Sender, Group: b.Leader, Version: b.Version})
 		p.heard[b.Sender] = wire.Member{IP: b.Sender, Node: b.Node, Admin: b.Admin}
 		p.heardGrouped[b.Sender] = b.Leader != 0
 	case stDeferring:
@@ -373,6 +377,8 @@ func (p *adapterProto) onEvict(m *wire.Evict) {
 	}
 	cur := p.view.Leader()
 	if m.Leader == cur || m.Leader > cur || p.view.Contains(m.Leader) {
+		p.trace(trace.Record{Kind: trace.KEvicted, Peer: m.Leader,
+			Group: cur, Version: m.Version})
 		p.isolationOrphan()
 	}
 }
@@ -520,6 +526,12 @@ func (p *adapterProto) onPrepare(m *wire.Prepare) {
 	if !included {
 		ok = false
 	}
+	det := ""
+	if !ok {
+		det = "rejected"
+	}
+	p.trace(trace.Record{Kind: trace.KPrepareRecv, Peer: m.Leader, Group: m.Leader,
+		Version: m.Version, Token: m.Token, Detail: det})
 	ack := &wire.PrepareAck{From: p.self, Leader: m.Leader, Version: m.Version, Token: m.Token, OK: ok}
 	p.sendMember(m.Leader, ack)
 	if !ok {
@@ -554,6 +566,8 @@ func (p *adapterProto) onCommit(m *wire.Commit) {
 		if pv.timer != nil {
 			pv.timer.Stop()
 		}
+		p.trace(trace.Record{Kind: trace.KCommitRecv, Peer: m.Leader, Group: m.Leader,
+			Version: m.Version, Token: m.Token})
 		p.adoptView(pv.view, m.Leader)
 		return
 	}
@@ -570,6 +584,8 @@ func (p *adapterProto) onCommit(m *wire.Commit) {
 	if !v.Contains(p.self) {
 		return
 	}
+	p.trace(trace.Record{Kind: trace.KCommitRecv, Peer: m.Leader, Group: m.Leader,
+		Version: m.Version, Token: m.Token, Detail: "direct"})
 	p.adoptView(v, m.Leader)
 }
 
@@ -604,11 +620,14 @@ func (p *adapterProto) onAbort(m *wire.Abort) {
 			p.pending.timer.Stop()
 		}
 		p.pending = nil
+		p.trace(trace.Record{Kind: trace.KAbortRecv, Peer: m.Leader, Group: m.Leader, Token: m.Token})
 	}
 }
 
 // commitView finalizes a membership view locally (both roles).
 func (p *adapterProto) commitView(v amg.Membership) {
+	p.trace(trace.Record{Kind: trace.KViewCommit, Group: v.Leader(),
+		Version: v.Version, Count: uint32(v.Size())})
 	p.view = v
 	p.lastGroupActivity = p.now()
 	p.firstSuspicionAt = 0 // a commit proves the leadership is working
@@ -639,11 +658,14 @@ func (p *adapterProto) reportSuspect(suspect transport.IP, reason wire.SuspectRe
 	if !p.ep.Loopback() {
 		// Our own adapter is broken; blaming the neighbor would be the
 		// §3 false-report flaw. Stay quiet and let others detect us.
+		p.trace(trace.Record{Kind: trace.KLoopbackFailed, Peer: suspect, Detail: reason.String()})
 		return
 	}
 	if p.d.hooks.Suspicion != nil {
 		p.d.hooks.Suspicion(p.self, suspect, reason)
 	}
+	p.trace(trace.Record{Kind: trace.KSuspicionRaised, Peer: suspect,
+		Group: p.view.Leader(), Version: p.view.Version, Detail: reason.String()})
 	if p.state == stMember && p.firstSuspicionAt == 0 {
 		p.firstSuspicionAt = p.now()
 	}
@@ -666,6 +688,8 @@ func (p *adapterProto) onSuspect(m *wire.Suspect) {
 	if !p.view.Contains(m.Suspect) {
 		return
 	}
+	p.trace(trace.Record{Kind: trace.KSuspicionRecv, Peer: m.Suspect,
+		Group: p.view.Leader(), Version: m.Version, Detail: m.Reason.String()})
 	switch {
 	case p.state == stLeader:
 		p.lead.onSuspicion(m)
@@ -688,6 +712,8 @@ func (p *adapterProto) onSuspect(m *wire.Suspect) {
 func (p *adapterProto) takeOverLeadership() {
 	oldLeader := p.view.Leader()
 	oldVersion := p.view.Version
+	p.trace(trace.Record{Kind: trace.KLeaderTakeover, Peer: oldLeader,
+		Group: oldLeader, Version: oldVersion})
 	p.becomeLeader()
 	// Our full report supersedes the old group (by leader AND version —
 	// the address alone is ambiguous if that leader re-formed elsewhere).
@@ -722,6 +748,7 @@ func (p *adapterProto) verifySuspect(target transport.IP, verdict func(probeResu
 }
 
 func (p *adapterProto) sendProbe(nonce uint64, ps *probeState) {
+	p.trace(trace.Record{Kind: trace.KProbeSent, Peer: ps.target, Token: nonce})
 	p.sendHeartbeatPlane(ps.target, &wire.Probe{From: p.self, Nonce: nonce})
 	ps.timer = p.clock().AfterFunc(p.d.cfg.ProbeTimeout, func() {
 		cur, ok := p.probes[nonce]
@@ -734,6 +761,7 @@ func (p *adapterProto) sendProbe(nonce uint64, ps *probeState) {
 			return
 		}
 		delete(p.probes, nonce)
+		p.trace(trace.Record{Kind: trace.KVerdictDead, Peer: ps.target, Token: nonce})
 		ps.verdict(probeResult{dead: true})
 	})
 }
@@ -745,6 +773,8 @@ func (p *adapterProto) onProbeAck(m *wire.ProbeAck) {
 				ps.timer.Stop()
 			}
 			delete(p.probes, nonce)
+			p.trace(trace.Record{Kind: trace.KVerdictAlive, Peer: m.From,
+				Group: m.Leader, Version: m.Version, Token: nonce})
 			ps.verdict(probeResult{leader: m.Leader, version: m.Version})
 		}
 	}
@@ -847,6 +877,8 @@ func (p *adapterProto) escalateSuspicion() {
 // a fresh singleton leader. The lineage break is flagged so Central does
 // not misread the reformation as the old group dying.
 func (p *adapterProto) isolationOrphan() {
+	p.trace(trace.Record{Kind: trace.KOrphaned,
+		Group: p.view.Leader(), Version: p.view.Version})
 	if p.d.hooks.Orphaned != nil {
 		p.d.hooks.Orphaned(p.self)
 	}

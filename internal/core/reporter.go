@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -39,6 +40,12 @@ func (r *reporter) reset() {
 func (r *reporter) enqueue(rep *wire.Report) {
 	rep.Seq = r.nextSeq
 	r.nextSeq++
+	det := "delta"
+	if rep.Full {
+		det = "full"
+	}
+	r.d.trace(trace.Record{Kind: trace.KReportQueued, Self: r.d.AdminIP(),
+		Group: rep.Leader, Version: rep.Version, Token: rep.Seq, Detail: det})
 	r.queue = append(r.queue, rep)
 	r.kick()
 }
@@ -87,6 +94,8 @@ func (r *reporter) onAck(seq uint64) {
 	if r.inflight == nil || r.inflight.Seq != seq {
 		return
 	}
+	r.d.trace(trace.Record{Kind: trace.KReportAcked, Self: r.d.AdminIP(),
+		Group: r.inflight.Leader, Version: r.inflight.Version, Token: seq})
 	r.inflight = nil
 	if r.timer != nil {
 		r.timer.Stop()

@@ -1,0 +1,31 @@
+package core
+
+import "repro/internal/trace"
+
+// SetTracer installs the protocol flight recorder. Must be called before
+// Start. A nil (or absent) recorder makes every instrumentation point a
+// no-op, so the protocol code records unconditionally.
+func (d *Daemon) SetTracer(r *trace.Recorder) { d.tracer = r }
+
+// Tracer returns the installed flight recorder (possibly nil).
+func (d *Daemon) Tracer() *trace.Recorder { return d.tracer }
+
+// trace stamps a record with this daemon's clock and node name and
+// captures it.
+func (d *Daemon) trace(rec trace.Record) {
+	if d.tracer == nil {
+		return
+	}
+	rec.T = d.clock.Now()
+	rec.Node = d.node
+	d.tracer.Record(rec)
+}
+
+// trace captures a record on behalf of one adapter.
+func (p *adapterProto) trace(rec trace.Record) {
+	if p.d.tracer == nil {
+		return
+	}
+	rec.Self = p.self
+	p.d.trace(rec)
+}

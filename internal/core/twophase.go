@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/amg"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -232,6 +233,8 @@ func (r *twoPCRound) send() {
 		r.commit()
 		return
 	}
+	p.trace(trace.Record{Kind: trace.KPrepareSent, Group: p.self,
+		Version: r.target.Version, Token: r.token, Count: uint32(len(r.target.Members))})
 	prep := &wire.Prepare{Leader: p.self, Version: r.target.Version, Token: r.token, Op: r.op, Members: r.target.Members}
 	for _, m := range r.target.Members {
 		if m.IP != p.self {
@@ -250,6 +253,12 @@ func (l *leaderState) onPrepareAck(m *wire.PrepareAck) {
 	if !r.waiting[m.From] {
 		return
 	}
+	det := ""
+	if !m.OK {
+		det = "rejected"
+	}
+	l.p.trace(trace.Record{Kind: trace.KPrepareAck, Peer: m.From, Group: l.p.self,
+		Version: m.Version, Token: m.Token, Detail: det})
 	if !m.OK {
 		// The member refused (it belongs to a higher leader, or raced
 		// ahead of us). Drop it and re-run the round without it.
@@ -276,6 +285,9 @@ func (r *twoPCRound) timeout() {
 	r.timer = nil
 	if r.resends < p.d.cfg.CommitRetries {
 		r.resends++
+		p.trace(trace.Record{Kind: trace.KPrepareSent, Group: p.self,
+			Version: r.target.Version, Token: r.token,
+			Count: uint32(len(r.target.Members)), Detail: "resend"})
 		prep := &wire.Prepare{Leader: p.self, Version: r.target.Version, Token: r.token, Op: r.op, Members: r.target.Members}
 		for ip := range r.waiting {
 			p.sendMember(ip, prep)
@@ -312,6 +324,8 @@ func (r *twoPCRound) retarget(target amg.Membership) {
 		return
 	}
 	target.Version = r.target.Version
+	p.trace(trace.Record{Kind: trace.KRetarget, Group: p.self,
+		Version: target.Version, Token: r.token, Count: uint32(len(target.Members))})
 	r.target = target
 	r.waiting = make(map[transport.IP]bool)
 	r.resends = 0
@@ -329,6 +343,8 @@ func (r *twoPCRound) commit() {
 	p := r.l.p
 	r.done = true
 	r.l.round = nil
+	p.trace(trace.Record{Kind: trace.KCommitSent, Group: p.self,
+		Version: r.target.Version, Token: r.token, Count: uint32(len(r.target.Members))})
 	c := &wire.Commit{Leader: p.self, Version: r.target.Version, Token: r.token, Members: r.target.Members}
 	for _, m := range r.target.Members {
 		if m.IP != p.self {
@@ -427,6 +443,8 @@ func (s *suspicionState) verify() {
 			// false (the paper: "If the reported failure proves to be
 			// false, it is ignored"). Refresh its view in case it is the
 			// stale one.
+			p.trace(trace.Record{Kind: trace.KFalseAccusation, Peer: suspect,
+				Group: p.self, Version: p.view.Version})
 			if res.version < p.view.Version {
 				l.refreshMember(suspect)
 			}

@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/central"
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/trace"
+)
+
+// PhasesOptions parameterizes the stabilization-phase decomposition.
+type PhasesOptions struct {
+	Seed         int64
+	AdminNodes   int
+	UniformNodes int
+	Trials       int
+}
+
+// DefaultPhases uses the paper prototype's 20-node farm.
+func DefaultPhases() PhasesOptions {
+	return PhasesOptions{Seed: 131, AdminNodes: 4, UniformNodes: 16, Trials: 3}
+}
+
+// PhasesResult decomposes one cold start into the protocol's phases, all
+// measured from farm start on the simulated clock.
+type PhasesResult struct {
+	// Discovery ends when the last adapter leaves its beacon phase with
+	// an initial member set (last discovery-formed record).
+	Discovery time.Duration
+	// Formation ends when the last AMG view of the cold start commits
+	// (last view-commit record before stabilization).
+	Formation time.Duration
+	// Reporting ends when Central applies the last leader report.
+	Reporting time.Duration
+	// Stable is when Central declares the farm view stable (Figure 5).
+	Stable time.Duration
+	// Txns counts correlated 2PC membership transactions.
+	Txns int
+	// Records is the number of flight-recorder records captured.
+	Records uint64
+}
+
+// PhasesTrial cold-starts a traced farm, waits for stabilization, and
+// reads the phase boundaries out of the flight recorder.
+func PhasesTrial(o PhasesOptions, seed int64) (PhasesResult, error) {
+	var res PhasesResult
+	cfg := core.DefaultConfig()
+	cc := central.DefaultConfig()
+	f, err := farm.Build(farm.Spec{
+		Seed:         seed,
+		AdminNodes:   o.AdminNodes,
+		UniformNodes: o.UniformNodes, UniformAdapters: 2,
+		StartSkew: 2 * time.Second,
+		Core:      cfg, Central: cc,
+		Trace: true,
+	})
+	if err != nil {
+		return res, err
+	}
+	f.Start()
+	stable, ok := f.RunUntilStable(5 * time.Minute)
+	if !ok {
+		return res, fmt.Errorf("exp: phases: farm never stabilized")
+	}
+	res.Stable = stable
+	records := f.Trace.Snapshot()
+	for _, rec := range records {
+		switch rec.Kind {
+		case trace.KFormed:
+			if rec.T > res.Discovery {
+				res.Discovery = rec.T
+			}
+		case trace.KViewCommit:
+			if rec.T > res.Formation {
+				res.Formation = rec.T
+			}
+		case trace.KReportApplied:
+			if rec.T > res.Reporting {
+				res.Reporting = rec.T
+			}
+		}
+	}
+	res.Txns = len(trace.Txns(records))
+	res.Records = f.Trace.Total()
+	return res, nil
+}
+
+// Phases decomposes Figure 5's stabilization time into its protocol
+// phases — beacon discovery, AMG 2PC formation, leader reporting, and
+// Central's quiet wait — using the flight recorder's timeline.
+func Phases(o PhasesOptions) (*Table, error) {
+	t := &Table{
+		ID: "E13/phases",
+		Title: fmt.Sprintf("cold-start stabilization by protocol phase (%d nodes, flight-recorder spans)",
+			o.AdminNodes+o.UniformNodes),
+		Columns: []string{"trial", "discovery(s)", "formation(s)", "reporting(s)", "stable(s)", "2pc txns", "records"},
+	}
+	for trial := 0; trial < o.Trials; trial++ {
+		r, err := PhasesTrial(o, o.Seed+int64(trial)*13)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", trial+1), secs(r.Discovery), secs(r.Formation),
+			secs(r.Reporting), secs(r.Stable), fmt.Sprintf("%d", r.Txns),
+			fmt.Sprintf("%d", r.Records))
+	}
+	t.Note("discovery = last adapter ends its beacon phase; formation = last AMG view commit;")
+	t.Note("reporting = Central applies the last leader report; stable = Formula (1)'s endpoint.")
+	t.Note("the stable-reporting gap is Central's Tgsc quiet wait, as the model predicts")
+	return t, nil
+}
+
+// TraceOverheadOptions parameterizes the recorder-overhead measurement.
+type TraceOverheadOptions struct {
+	Seed         int64
+	AdminNodes   int
+	UniformNodes int
+	// Window is how much simulated time to run past stabilization, so
+	// steady-state heartbeat traffic dominates the measurement.
+	Window time.Duration
+	// Trials per mode; the fastest wall time of each mode is compared.
+	Trials int
+}
+
+// DefaultTraceOverhead measures a 20-node farm over 10 simulated minutes
+// of steady state, long enough that wall time is dominated by protocol
+// work rather than farm construction.
+func DefaultTraceOverhead() TraceOverheadOptions {
+	return TraceOverheadOptions{Seed: 137, AdminNodes: 4, UniformNodes: 16,
+		Window: 10 * time.Minute, Trials: 5}
+}
+
+// traceOverheadRun cold-starts one farm and returns the wall time spent
+// simulating, plus the records captured.
+func traceOverheadRun(o TraceOverheadOptions, traced bool) (time.Duration, uint64, error) {
+	f, err := farm.Build(farm.Spec{
+		Seed:         o.Seed,
+		AdminNodes:   o.AdminNodes,
+		UniformNodes: o.UniformNodes, UniformAdapters: 2,
+		Trace: traced,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	f.Start()
+	if _, ok := f.RunUntilStable(5 * time.Minute); !ok {
+		return 0, 0, fmt.Errorf("exp: trace overhead: farm never stabilized")
+	}
+	f.RunFor(o.Window)
+	return time.Since(start), f.Trace.Total(), nil
+}
+
+// TraceOverhead compares wall-clock simulation cost with the flight
+// recorder off and on. The disabled recorder costs one atomic load per
+// capture site; enabled, each record is one copy into the ring.
+func TraceOverhead(o TraceOverheadOptions) (*Table, error) {
+	t := &Table{
+		ID: "E13b/trace-overhead",
+		Title: fmt.Sprintf("flight-recorder capture overhead (%d nodes, stabilization + %s steady state)",
+			o.AdminNodes+o.UniformNodes, o.Window),
+		Columns: []string{"recorder", "wall(s)", "records", "records/sec", "overhead"},
+	}
+	best := map[bool]time.Duration{}
+	recs := map[bool]uint64{}
+	for _, traced := range []bool{false, true} {
+		for trial := 0; trial < o.Trials; trial++ {
+			wall, n, err := traceOverheadRun(o, traced)
+			if err != nil {
+				return nil, err
+			}
+			if cur, ok := best[traced]; !ok || wall < cur {
+				best[traced] = wall
+				recs[traced] = n
+			}
+		}
+	}
+	overhead := 0.0
+	if best[false] > 0 {
+		overhead = (best[true].Seconds() - best[false].Seconds()) / best[false].Seconds() * 100
+	}
+	for _, traced := range []bool{false, true} {
+		rate, over := "-", "-"
+		if traced {
+			if s := best[true].Seconds(); s > 0 {
+				rate = fmt.Sprintf("%.0f", float64(recs[true])/s)
+			}
+			over = fmt.Sprintf("%+.1f%%", overhead)
+		}
+		mode := "off"
+		if traced {
+			mode = "on"
+		}
+		t.AddRow(mode, secs2(best[traced]), fmt.Sprintf("%d", recs[traced]), rate, over)
+	}
+	t.Note("fastest of %d trials per mode; capture is a mutex-guarded copy into a fixed ring,", o.Trials)
+	t.Note("no allocation on the hot path — see BenchmarkRecord in internal/trace for per-record cost")
+	return t, nil
+}

@@ -1,0 +1,21 @@
+package exp
+
+import "testing"
+
+// TestPhasesSmall runs E13 on a small farm and checks the phase order the
+// protocol guarantees: discovery <= formation, and reporting <= stable.
+func TestPhasesSmall(t *testing.T) {
+	r, err := PhasesTrial(PhasesOptions{AdminNodes: 2, UniformNodes: 4}, 131)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Discovery <= 0 || r.Formation < r.Discovery {
+		t.Errorf("phase order: discovery %v, formation %v", r.Discovery, r.Formation)
+	}
+	if r.Reporting <= 0 || r.Stable < r.Reporting {
+		t.Errorf("phase order: reporting %v, stable %v", r.Reporting, r.Stable)
+	}
+	if r.Txns == 0 || r.Records == 0 {
+		t.Errorf("no trace data: %d txns, %d records", r.Txns, r.Records)
+	}
+}

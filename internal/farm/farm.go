@@ -20,6 +20,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/switchsim"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -76,6 +77,14 @@ type Spec struct {
 	// Journal gives every node's Central an in-memory state journal,
 	// enabling the warm-standby stream and journal-based failover.
 	Journal bool
+	// Trace enables the protocol flight recorder: every daemon and
+	// Central records protocol state transitions into the shared
+	// Farm.Trace ring (records carry the node name, so one unified
+	// timeline covers the whole farm).
+	Trace bool
+	// TraceCapacity overrides the flight-recorder ring size
+	// (trace.DefaultCapacity when zero).
+	TraceCapacity int
 }
 
 // NodeInfo describes one built node.
@@ -96,6 +105,10 @@ type Farm struct {
 	DB      *configdb.DB
 	Bus     *event.Bus
 	Metrics *metrics.Registry
+	// Trace is the farm-wide flight recorder. Always present; capture is
+	// enabled only when Spec.Trace is set (a disabled recorder costs one
+	// atomic load per protocol transition).
+	Trace *trace.Recorder
 
 	Nodes    map[string]*NodeInfo
 	Daemons  map[string]*core.Daemon
@@ -141,6 +154,9 @@ func Build(spec Spec) (*Farm, error) {
 	f.Net = netsim.New(f.Sched, f.Fabric)
 	f.Net.SetDefaultProfile(netsim.LinkProfile{Loss: spec.Loss, Latency: spec.Latency, Jitter: spec.Jitter})
 	f.Metrics.Attach(f.Net)
+	f.Trace = trace.New(spec.TraceCapacity)
+	f.Trace.Enable(spec.Trace)
+	f.Trace.AddSink(metrics.ObserveTrace(f.Metrics))
 
 	if err := f.build(); err != nil {
 		return nil, err
@@ -259,6 +275,8 @@ func (f *Farm) build() error {
 			f.Journals[name] = j
 		}
 		d.SetCentral(c)
+		d.SetTracer(f.Trace)
+		c.SetTracer(f.Trace, name)
 		f.Nodes[name] = info
 		f.Daemons[name] = d
 		f.Centrals[name] = c

@@ -1,0 +1,93 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestTraceCapturesProtocolLifecycle drives a small farm with the flight
+// recorder on and checks that discovery, 2PC, reporting, and failure
+// handling all leave correlated records, and that the metrics bridge
+// derives instruments from them.
+func TestTraceCapturesProtocolLifecycle(t *testing.T) {
+	f, err := Build(Spec{
+		Seed:         5,
+		UniformNodes: 6, UniformAdapters: 2,
+		AdminNodes: 1,
+		StartSkew:  time.Second,
+		Trace:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if !f.Trace.Enabled() {
+		t.Fatal("Spec.Trace did not enable the recorder")
+	}
+	if _, ok := f.RunUntilStable(3 * time.Minute); !ok {
+		t.Fatal("farm never stabilized")
+	}
+
+	seen := make(map[trace.Kind]bool)
+	for _, rec := range f.Trace.Snapshot() {
+		seen[rec.Kind] = true
+		if rec.Node == "" {
+			t.Fatalf("record missing node: %v", rec)
+		}
+	}
+	for _, k := range []trace.Kind{
+		trace.KBeaconSent, trace.KBeaconHeard, trace.KFormed,
+		trace.KPrepareSent, trace.KPrepareRecv, trace.KPrepareAck,
+		trace.KCommitSent, trace.KCommitRecv, trace.KViewCommit,
+		trace.KReportQueued, trace.KReportAcked, trace.KReportApplied,
+		trace.KCentralActivated,
+	} {
+		if !seen[k] {
+			t.Errorf("no %v record captured", k)
+		}
+	}
+
+	// Each 2PC transaction's records share the (leader, token) pair.
+	txns := trace.Txns(f.Trace.Snapshot())
+	if len(txns) == 0 {
+		t.Fatal("no 2PC transactions correlated")
+	}
+	for _, txn := range txns {
+		for _, rec := range txn.Records {
+			if rec.Group != txn.Leader || rec.Token != txn.Token {
+				t.Fatalf("txn %s contains foreign record %v", txn.ID(), rec)
+			}
+		}
+	}
+
+	// The bridge fed the registry.
+	for _, name := range []string{"beacons_sent_total", "twopc_rounds_total",
+		"twopc_commits_total", "view_commits_total", "reports_applied_total",
+		"central_activations_total"} {
+		if f.Metrics.CounterValue(name) == 0 {
+			t.Errorf("counter %s never incremented", name)
+		}
+	}
+	if f.Metrics.Histogram("twopc_round").N == 0 {
+		t.Error("no twopc_round latency samples")
+	}
+}
+
+// TestTraceDisabledByDefault pins that a farm without Spec.Trace records
+// nothing (the recorder exists but capture is off).
+func TestTraceDisabledByDefault(t *testing.T) {
+	f, err := Build(Spec{Seed: 2, AdminNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	f.RunFor(30 * time.Second)
+	if f.Trace.Enabled() {
+		t.Error("recorder enabled without Spec.Trace")
+	}
+	if n := f.Trace.Total(); n != 0 {
+		t.Errorf("disabled recorder captured %d records", n)
+	}
+}

@@ -1,12 +1,19 @@
-// Package metrics collects the measurements the paper's evaluation needs:
-// message and byte counts per protocol plane and per segment, and latency
-// samples with quantiles. A Registry taps directly into netsim traffic.
+// Package metrics collects the measurements the paper's evaluation needs
+// — message and byte counts per protocol plane and per segment, latency
+// samples with quantiles — plus a general registry of named counters,
+// gauges and histograms fed by the protocol flight recorder
+// (internal/trace). A Registry taps directly into netsim traffic under
+// simulation and into trace records on real networks; gsd serves it as
+// Prometheus text over HTTP.
 package metrics
 
 import (
 	"fmt"
+	"io"
+	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/netsim"
@@ -46,13 +53,20 @@ func (c *Counter) add(bytes, dropped int) {
 	c.Dropped += uint64(dropped)
 }
 
-// Registry aggregates traffic counters. Not safe for concurrent use
-// (simulation is single-threaded).
+// Registry aggregates traffic counters and named instruments. It is safe
+// for concurrent use: the simulator drives it from one goroutine, but
+// gsd observes from the UDP event loop while HTTP debug handlers read
+// summaries concurrently.
 type Registry struct {
+	mu        sync.Mutex
 	byPlane   map[string]*Counter
 	bySegment map[string]*Counter
 	total     Counter
 	since     time.Duration
+
+	counters map[string]uint64
+	gauges   map[string]float64
+	hists    map[string]*Latencies
 }
 
 // NewRegistry returns an empty registry.
@@ -60,6 +74,9 @@ func NewRegistry() *Registry {
 	return &Registry{
 		byPlane:   make(map[string]*Counter),
 		bySegment: make(map[string]*Counter),
+		counters:  make(map[string]uint64),
+		gauges:    make(map[string]float64),
+		hists:     make(map[string]*Latencies),
 	}
 }
 
@@ -70,6 +87,8 @@ func (r *Registry) Attach(net *netsim.Network) {
 
 // Observe records one transmission trace.
 func (r *Registry) Observe(tr netsim.Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.total.add(tr.Bytes, tr.Dropped)
 	p := Plane(tr.Dst.Port)
 	c := r.byPlane[p]
@@ -86,19 +105,31 @@ func (r *Registry) Observe(tr netsim.Trace) {
 	s.add(tr.Bytes, tr.Dropped)
 }
 
-// Reset zeroes all counters and marks the window start.
+// Reset zeroes all traffic counters and instruments and marks the window
+// start.
 func (r *Registry) Reset(now time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.byPlane = make(map[string]*Counter)
 	r.bySegment = make(map[string]*Counter)
 	r.total = Counter{}
+	r.counters = make(map[string]uint64)
+	r.gauges = make(map[string]float64)
+	r.hists = make(map[string]*Latencies)
 	r.since = now
 }
 
 // Total returns the all-traffic counter.
-func (r *Registry) Total() Counter { return r.total }
+func (r *Registry) Total() Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
 
 // PlaneCounter returns the counter for a protocol plane (zero if unseen).
 func (r *Registry) PlaneCounter(plane string) Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if c := r.byPlane[plane]; c != nil {
 		return *c
 	}
@@ -107,6 +138,8 @@ func (r *Registry) PlaneCounter(plane string) Counter {
 
 // SegmentCounter returns the counter for a segment (zero if unseen).
 func (r *Registry) SegmentCounter(seg string) Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if c := r.bySegment[seg]; c != nil {
 		return *c
 	}
@@ -116,7 +149,10 @@ func (r *Registry) SegmentCounter(seg string) Counter {
 // Rate converts a message count to messages/second over the window ending
 // at now.
 func (r *Registry) Rate(messages uint64, now time.Duration) float64 {
-	w := now - r.since
+	r.mu.Lock()
+	since := r.since
+	r.mu.Unlock()
+	w := now - since
 	if w <= 0 {
 		return 0
 	}
@@ -125,6 +161,8 @@ func (r *Registry) Rate(messages uint64, now time.Duration) float64 {
 
 // Summary renders all planes in name order, for experiment output.
 func (r *Registry) Summary() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.byPlane))
 	for n := range r.byPlane {
 		names = append(names, n)
@@ -138,7 +176,143 @@ func (r *Registry) Summary() string {
 	return b.String()
 }
 
-// Latencies collects duration samples and reports order statistics.
+// --- named instruments ---
+
+// Inc adds 1 to the named counter.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Add adds n to the named counter, creating it at zero.
+func (r *Registry) Add(name string, n uint64) {
+	r.mu.Lock()
+	r.counters[name] += n
+	r.mu.Unlock()
+}
+
+// CounterValue returns the named counter (0 if unseen).
+func (r *Registry) CounterValue(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Counters snapshots every named counter.
+func (r *Registry) Counters() map[string]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Set sets the named gauge.
+func (r *Registry) Set(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Gauges snapshots every named gauge.
+func (r *Registry) Gauges() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// ObserveDuration adds one sample to the named histogram.
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Latencies{}
+		r.hists[name] = h
+	}
+	h.Add(d)
+	r.mu.Unlock()
+}
+
+// HistogramStats summarizes one named histogram.
+type HistogramStats struct {
+	N                   int
+	Mean, P50, P95, Max time.Duration
+}
+
+// Histogram returns the named histogram's summary (zero if unseen).
+func (r *Registry) Histogram(name string) HistogramStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		return HistogramStats{}
+	}
+	return HistogramStats{
+		N: h.N(), Mean: h.Mean(),
+		P50: h.Quantile(0.5), P95: h.Quantile(0.95), Max: h.Max(),
+	}
+}
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format: per-plane and per-segment traffic, named counters and gauges,
+// and histogram summaries with quantile labels.
+func (r *Registry) WriteProm(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	fmt.Fprintf(w, "# TYPE gulfstream_plane_messages_total counter\n")
+	for _, p := range sortedKeys(r.byPlane) {
+		c := r.byPlane[p]
+		fmt.Fprintf(w, "gulfstream_plane_messages_total{plane=%q} %d\n", p, c.Messages)
+		fmt.Fprintf(w, "gulfstream_plane_bytes_total{plane=%q} %d\n", p, c.Bytes)
+		fmt.Fprintf(w, "gulfstream_plane_dropped_total{plane=%q} %d\n", p, c.Dropped)
+	}
+	for _, s := range sortedKeys(r.bySegment) {
+		fmt.Fprintf(w, "gulfstream_segment_messages_total{segment=%q} %d\n", s, r.bySegment[s].Messages)
+	}
+	for _, name := range sortedKeys(r.counters) {
+		fmt.Fprintf(w, "gulfstream_%s %d\n", name, r.counters[name])
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		fmt.Fprintf(w, "gulfstream_%s %s\n", name, formatFloat(r.gauges[name]))
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		var sum time.Duration
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "gulfstream_%s_seconds{quantile=\"%g\"} %s\n",
+				name, q, formatFloat(h.Quantile(q).Seconds()))
+		}
+		for _, s := range h.samples {
+			sum += s
+		}
+		fmt.Fprintf(w, "gulfstream_%s_seconds_sum %s\n", name, formatFloat(sum.Seconds()))
+		fmt.Fprintf(w, "gulfstream_%s_seconds_count %d\n", name, h.N())
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Latencies collects duration samples and reports order statistics. It is
+// not safe for concurrent use on its own; Registry guards the histograms
+// it owns.
 type Latencies struct {
 	samples []time.Duration
 	sorted  bool
@@ -160,13 +334,16 @@ func (l *Latencies) sortSamples() {
 	}
 }
 
-// Quantile returns the q-th (0..1) order statistic, 0 with no samples.
+// Quantile returns the q-th (0..1) order statistic by the nearest-rank
+// rule (index round(q*(n-1))), 0 with no samples. Plain truncation would
+// bias small-sample quantiles low: with 3 samples, a truncated p95 picks
+// the median.
 func (l *Latencies) Quantile(q float64) time.Duration {
 	if len(l.samples) == 0 {
 		return 0
 	}
 	l.sortSamples()
-	idx := int(q * float64(len(l.samples)-1))
+	idx := int(math.Round(q * float64(len(l.samples)-1)))
 	if idx < 0 {
 		idx = 0
 	}

@@ -9,7 +9,7 @@ import (
 	"repro/internal/transport"
 )
 
-func trace(port uint16, seg string, bytes, dropped int) netsim.Trace {
+func netTrace(port uint16, seg string, bytes, dropped int) netsim.Trace {
 	return netsim.Trace{
 		Dst:     transport.Addr{IP: transport.MakeIP(10, 0, 0, 1), Port: port},
 		Segment: seg,
@@ -20,9 +20,9 @@ func trace(port uint16, seg string, bytes, dropped int) netsim.Trace {
 
 func TestRegistryAggregation(t *testing.T) {
 	r := NewRegistry()
-	r.Observe(trace(transport.PortHeartbeat, "vlan-100", 22, 0))
-	r.Observe(trace(transport.PortHeartbeat, "vlan-100", 22, 1))
-	r.Observe(trace(transport.PortBeacon, "vlan-200", 40, 0))
+	r.Observe(netTrace(transport.PortHeartbeat, "vlan-100", 22, 0))
+	r.Observe(netTrace(transport.PortHeartbeat, "vlan-100", 22, 1))
+	r.Observe(netTrace(transport.PortBeacon, "vlan-200", 40, 0))
 
 	if tot := r.Total(); tot.Messages != 3 || tot.Bytes != 84 || tot.Dropped != 1 {
 		t.Fatalf("total = %+v", tot)
@@ -57,13 +57,13 @@ func TestPlaneNames(t *testing.T) {
 
 func TestResetAndRate(t *testing.T) {
 	r := NewRegistry()
-	r.Observe(trace(transport.PortHeartbeat, "s", 22, 0))
+	r.Observe(netTrace(transport.PortHeartbeat, "s", 22, 0))
 	r.Reset(10 * time.Second)
 	if r.Total().Messages != 0 {
 		t.Fatal("Reset did not clear")
 	}
-	r.Observe(trace(transport.PortHeartbeat, "s", 22, 0))
-	r.Observe(trace(transport.PortHeartbeat, "s", 22, 0))
+	r.Observe(netTrace(transport.PortHeartbeat, "s", 22, 0))
+	r.Observe(netTrace(transport.PortHeartbeat, "s", 22, 0))
 	got := r.Rate(r.Total().Messages, 14*time.Second)
 	if got != 0.5 {
 		t.Fatalf("rate = %v, want 0.5 msg/s", got)
@@ -75,8 +75,8 @@ func TestResetAndRate(t *testing.T) {
 
 func TestSummary(t *testing.T) {
 	r := NewRegistry()
-	r.Observe(trace(transport.PortBeacon, "s", 40, 0))
-	r.Observe(trace(transport.PortReport, "s", 60, 2))
+	r.Observe(netTrace(transport.PortBeacon, "s", 40, 0))
+	r.Observe(netTrace(transport.PortReport, "s", 60, 2))
 	s := r.Summary()
 	if !strings.Contains(s, "beacon") || !strings.Contains(s, "report") {
 		t.Fatalf("summary = %q", s)
