@@ -7,8 +7,8 @@
 //
 // With no arguments it runs everything. Experiments: fig5, formula1,
 // beaconloss, detector, hbload, failover, move, merge, centralload,
-// verify, tb0, journal, phases, trace. -quick runs scaled-down variants
-// (seconds instead of minutes).
+// verify, tb0, journal, phases, trace, scale. -quick runs scaled-down
+// variants (seconds instead of minutes).
 package main
 
 import (
@@ -130,6 +130,15 @@ func runners() []runner {
 				o.Window, o.Trials = 15*time.Second, 1
 			}
 			return exp.TraceOverhead(o)
+		}},
+		{"scale", "E14: cold-start scale sweep, 500-4000 adapters (kernel throughput)", func(q bool) (*exp.Table, error) {
+			o := exp.DefaultScale()
+			o.JSONPath = "BENCH_scale.json"
+			if q {
+				o.Adapters = []int{100, 250}
+				o.Trials = 1
+			}
+			return exp.Scale(o)
 		}},
 	}
 }

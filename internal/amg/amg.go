@@ -21,8 +21,21 @@ type Membership struct {
 }
 
 // New builds a sorted membership at the given version. Duplicate IPs are
-// collapsed (last write wins).
+// collapsed (last write wins). A members slice that is already strictly
+// descending by IP — the wire order of every view-carrying message, since
+// senders serialize their own sorted view — is adopted without copying;
+// the caller must not modify it afterwards.
 func New(version uint64, members []wire.Member) Membership {
+	sorted := true
+	for i := 1; i < len(members); i++ {
+		if members[i-1].IP <= members[i].IP {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return Membership{Version: version, Members: members}
+	}
 	byIP := make(map[transport.IP]wire.Member, len(members))
 	for _, m := range members {
 		byIP[m.IP] = m

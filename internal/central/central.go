@@ -246,13 +246,15 @@ func (c *Central) Deactivate() {
 // sweepTick runs the time-based housekeeping (limbo deadlines, stale
 // expected moves) even when no reports are flowing.
 func (c *Central) sweepTick() {
-	c.sweepTimer = nil
 	if !c.active {
+		c.sweepTimer = nil
 		return
 	}
 	c.sweepExpectedMoves()
 	c.sweepLimbo()
-	c.sweepTimer = c.clock.AfterFunc(5*time.Second, c.sweepTick)
+	if c.sweepTimer != nil {
+		c.sweepTimer.Reset(5 * time.Second)
+	}
 }
 
 // sweepLimbo declares failed any adapter displaced by a lineage break
@@ -381,7 +383,9 @@ func (c *Central) ack(src transport.Addr, seq uint64) {
 		return
 	}
 	ack := &wire.ReportAck{From: c.ep.LocalIP(), Seq: seq}
-	_ = c.ep.Unicast(transport.PortReport, src, wire.Encode(ack))
+	pkt := wire.NewPacket(ack)
+	_ = c.ep.Unicast(transport.PortReport, src, pkt.Bytes())
+	pkt.Free()
 }
 
 func (c *Central) applyFull(src transport.Addr, r *wire.Report) {

@@ -243,14 +243,15 @@ func (c *Central) streamRecord(rec journal.Record) {
 func (c *Central) sendAppend(rec journal.Record) {
 	c.trace(trace.Record{Kind: trace.KJournalStreamed, Peer: c.stream.peer,
 		Version: rec.Epoch, Token: rec.Seq})
-	pkt := wire.Encode(&wire.JournalAppend{
+	pkt := wire.NewPacket(&wire.JournalAppend{
 		From:    c.ep.LocalIP(),
 		Epoch:   rec.Epoch,
 		Seq:     rec.Seq,
 		Payload: journal.EncodeRecord(rec),
 	})
 	_ = c.ep.Unicast(transport.PortJournal,
-		transport.Addr{IP: c.stream.peer, Port: transport.PortJournal}, pkt)
+		transport.Addr{IP: c.stream.peer, Port: transport.PortJournal}, pkt.Bytes())
+	pkt.Free()
 }
 
 // sendSnapshot bootstraps (or re-bases) the standby with the full folded
@@ -331,10 +332,11 @@ func (c *Central) HandleJournal(ep transport.Endpoint, src transport.Addr, msg w
 		c.jr.Ingest(rec)
 		// Ack our position regardless: a rejected gap record makes the
 		// active see a stale ack and re-base us with a snapshot.
-		ack := wire.Encode(&wire.JournalAck{
+		ack := wire.NewPacket(&wire.JournalAck{
 			From: ep.LocalIP(), Epoch: c.jr.Epoch(), Seq: c.jr.Seq(),
 		})
-		_ = ep.Unicast(transport.PortJournal, src, ack)
+		_ = ep.Unicast(transport.PortJournal, src, ack.Bytes())
+		ack.Free()
 	case *wire.JournalAck:
 		if !c.active || c.jr == nil {
 			return

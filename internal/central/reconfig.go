@@ -44,8 +44,10 @@ func (c *Central) DisableAdapter(ip transport.IP, reason string) bool {
 		return false
 	}
 	msg := &wire.Disable{Target: ip, Reason: reason}
+	pkt := wire.NewPacket(msg)
 	_ = c.ep.Unicast(transport.PortMember,
-		transport.Addr{IP: admin, Port: transport.PortMember}, wire.Encode(msg))
+		transport.Addr{IP: admin, Port: transport.PortMember}, pkt.Bytes())
+	pkt.Free()
 	c.publish(event.Event{Kind: event.AdapterDisabled, Adapter: ip, Detail: reason})
 	return true
 }

@@ -39,6 +39,18 @@ type pendingView struct {
 	timer  transport.Timer
 }
 
+// Heard-peer table slot layout: the high 32 bits hold the peer's IP, the
+// low 32 its beacon fingerprint — grouped/admin flags plus the low 30
+// bits of its incarnation. The node name cannot change without an
+// incarnation bump, so an unchanged fingerprint proves the whole beacon
+// is a repeat without touching the string side table.
+const (
+	heardGrouped  = uint64(1) << 31 // peer already declared a leader
+	heardAdmin    = uint64(1) << 30 // peer is its node's administrative adapter
+	heardIncMask  = 1<<30 - 1
+	heardMinSlots = 64
+)
+
 // adapterProto runs the GulfStream protocol for one network adapter.
 type adapterProto struct {
 	d     *Daemon
@@ -49,13 +61,23 @@ type adapterProto struct {
 	state    state
 	disabled bool
 
-	// discovery
-	heard        map[transport.IP]wire.Member
-	heardGrouped map[transport.IP]bool
-	beaconTick   transport.Timer
-	phaseTimer   transport.Timer
-	deferTimer   transport.Timer
-	beaconEvery  time.Duration
+	// discovery. Peers heard this beacon phase live in a flat linear-probe
+	// hash table of packed (IP, fingerprint) slots: the beacon flood is
+	// O(segment²) per interval, and recognizing a repeat in one or two
+	// probes of a pointer-free array beats both a Go map and a binary
+	// search at that rate. heardNode is append-only, reached through the
+	// parallel heardIdx; it is only touched when a peer is new or changed.
+	heardTab    []uint64
+	heardIdx    []int32
+	heardNode   []string
+	heardCnt    int
+	beaconMsg   wire.Beacon    // reused each sendBeacon, so beacons don't allocate
+	rxBeacon    wire.Beacon    // reused receive scratch (beacon plane)
+	rxHB        wire.Heartbeat // reused receive scratch (heartbeat plane)
+	beaconTick  transport.Timer
+	phaseTimer  transport.Timer
+	deferTimer  transport.Timer
+	beaconEvery time.Duration
 
 	// membership
 	view     amg.Membership
@@ -92,8 +114,11 @@ func (p *adapterProto) start() {
 	p.shutdown() // clear any leftovers from a previous life
 	p.disabled = false
 	p.state = stBeaconing
-	p.heard = make(map[transport.IP]wire.Member)
-	p.heardGrouped = make(map[transport.IP]bool)
+	for i := range p.heardTab {
+		p.heardTab[i] = 0
+	}
+	p.heardNode = p.heardNode[:0]
+	p.heardCnt = 0
 	p.view = amg.Membership{}
 	p.pending = nil
 	p.probes = make(map[uint64]*probeState)
@@ -156,7 +181,8 @@ func (p *adapterProto) disable() {
 // --- beaconing ---
 
 func (p *adapterProto) sendBeacon() {
-	b := &wire.Beacon{
+	b := &p.beaconMsg
+	*b = wire.Beacon{
 		Sender:      p.self,
 		Node:        p.d.node,
 		Incarnation: p.d.incarnation,
@@ -167,9 +193,11 @@ func (p *adapterProto) sendBeacon() {
 		b.Version = p.view.Version
 		b.Members = uint32(p.view.Size())
 	}
+	pkt := wire.NewPacket(b)
 	_ = p.ep.Multicast(transport.PortBeacon,
-		transport.Addr{IP: transport.BeaconGroup, Port: transport.PortBeacon}, wire.Encode(b))
-	p.trace(trace.Record{Kind: trace.KBeaconSent, Group: b.Leader, Version: b.Version})
+		transport.Addr{IP: transport.BeaconGroup, Port: transport.PortBeacon}, pkt.Bytes())
+	pkt.Free()
+	p.trace(&trace.Record{Kind: trace.KBeaconSent, Group: b.Leader, Version: b.Version})
 }
 
 func (p *adapterProto) beaconLoop() {
@@ -178,7 +206,7 @@ func (p *adapterProto) beaconLoop() {
 		return
 	}
 	p.sendBeacon()
-	p.beaconTick = p.clock().AfterFunc(p.beaconEvery, p.beaconLoop)
+	p.beaconTick.Reset(p.beaconEvery)
 }
 
 // endBeaconPhase closes discovery: the highest IP heard (or self) leads.
@@ -188,8 +216,8 @@ func (p *adapterProto) endBeaconPhase() {
 		return
 	}
 	highest := p.self
-	for ip := range p.heard {
-		if ip > highest {
+	for _, slot := range p.heardTab {
+		if ip := transport.IP(slot >> 32); ip > highest {
 			highest = ip
 		}
 	}
@@ -198,15 +226,19 @@ func (p *adapterProto) endBeaconPhase() {
 		// (paper §2.1). Adapters already in groups come over through the
 		// merge path instead, led by their own leaders.
 		members := []wire.Member{p.selfMember()}
-		for ip, m := range p.heard {
-			if !p.heardGrouped[ip] {
-				members = append(members, m)
+		for i, slot := range p.heardTab {
+			if slot != 0 && slot&heardGrouped == 0 {
+				members = append(members, wire.Member{
+					IP:    transport.IP(slot >> 32),
+					Node:  p.heardNode[p.heardIdx[i]],
+					Admin: slot&heardAdmin != 0,
+				})
 			}
 		}
 		if p.d.hooks.Formed != nil {
 			p.d.hooks.Formed(p.self, len(members))
 		}
-		p.trace(trace.Record{Kind: trace.KFormed, Count: uint32(len(members))})
+		p.trace(&trace.Record{Kind: trace.KFormed, Count: uint32(len(members))})
 		p.becomeLeader()
 		p.lead.startChange(wire.OpForm, amg.New(1, members))
 		return
@@ -265,15 +297,18 @@ func (p *adapterProto) dropLeaderState() {
 // --- message entry points ---
 
 func (p *adapterProto) onBeaconPacket(src, _ transport.Addr, payload []byte) {
-	if !p.d.running || p.state == stIdle {
+	// stIdle alone implies deafness: Crash is the only way to clear
+	// d.running and it shuts every proto down to stIdle first, so the
+	// extra Daemon dereference (a cold cache line per delivery) is
+	// redundant in the packet handlers.
+	if p.state == stIdle {
 		return
 	}
-	msg, err := wire.Decode(payload)
-	if err != nil {
-		return
-	}
-	b, ok := msg.(*wire.Beacon)
-	if !ok || b.Sender == p.self {
+	// The beacon plane carries only Beacons: decode into a reused scratch
+	// message so the startup flood (every adapter hears every beacon on
+	// its segment) does not allocate per packet.
+	b := &p.rxBeacon
+	if wire.DecodeInto(payload, b) != nil || b.Sender == p.self {
 		return
 	}
 	_ = src
@@ -283,9 +318,21 @@ func (p *adapterProto) onBeaconPacket(src, _ transport.Addr, payload []byte) {
 func (p *adapterProto) onBeacon(b *wire.Beacon) {
 	switch p.state {
 	case stBeaconing:
-		p.trace(trace.Record{Kind: trace.KBeaconHeard, Peer: b.Sender, Group: b.Leader, Version: b.Version})
-		p.heard[b.Sender] = wire.Member{IP: b.Sender, Node: b.Node, Admin: b.Admin}
-		p.heardGrouped[b.Sender] = b.Leader != 0
+		if p.d.tracer != nil { // guard here: building the Record is not free at beacon rates
+			p.trace(&trace.Record{Kind: trace.KBeaconHeard, Peer: b.Sender, Group: b.Leader, Version: b.Version})
+		}
+		// Beacons repeat every interval; only write when the fingerprint
+		// changed (the repeats dominate at scale). This is the hottest
+		// lookup in the simulator: one or two linear probes, typically one
+		// cache line, no pointers.
+		fp := uint64(b.Incarnation) & heardIncMask
+		if b.Leader != 0 {
+			fp |= heardGrouped
+		}
+		if b.Admin {
+			fp |= heardAdmin
+		}
+		p.heardPut(b.Sender, fp, b.Node)
 	case stDeferring:
 		// A formed leader on our segment: ask to join directly rather than
 		// waiting out the defer timeout.
@@ -299,6 +346,58 @@ func (p *adapterProto) onBeacon(b *wire.Beacon) {
 		p.onBeaconAsLeader(b)
 	case stMember:
 		// Only leaders act on beacons after formation (paper §2.1).
+	}
+}
+
+// heardPut records (or re-confirms) a peer's beacon in the heard table.
+// An existing slot with a matching fingerprint is the no-op fast path.
+func (p *adapterProto) heardPut(ip transport.IP, fp uint64, node string) {
+	if len(p.heardTab) == 0 {
+		p.heardTab = make([]uint64, heardMinSlots)
+		p.heardIdx = make([]int32, heardMinSlots)
+	}
+	want := uint64(ip)<<32 | fp
+	mask := uint32(len(p.heardTab) - 1)
+	i := uint32((uint64(ip)*0x9E3779B97F4A7C15)>>32) & mask
+	for {
+		slot := p.heardTab[i]
+		if slot == 0 {
+			p.heardTab[i] = want
+			p.heardIdx[i] = int32(len(p.heardNode))
+			p.heardNode = append(p.heardNode, node)
+			p.heardCnt++
+			if p.heardCnt*4 > len(p.heardTab)*3 {
+				p.heardGrow()
+			}
+			return
+		}
+		if uint32(slot>>32) == uint32(ip) {
+			if slot != want {
+				p.heardTab[i] = want
+				p.heardNode[p.heardIdx[i]] = node
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// heardGrow doubles the heard table, re-probing every live slot.
+func (p *adapterProto) heardGrow() {
+	oldTab, oldIdx := p.heardTab, p.heardIdx
+	p.heardTab = make([]uint64, 2*len(oldTab))
+	p.heardIdx = make([]int32, 2*len(oldIdx))
+	mask := uint32(len(p.heardTab) - 1)
+	for j, slot := range oldTab {
+		if slot == 0 {
+			continue
+		}
+		i := uint32(((slot>>32)*0x9E3779B97F4A7C15)>>32) & mask
+		for p.heardTab[i] != 0 {
+			i = (i + 1) & mask
+		}
+		p.heardTab[i] = slot
+		p.heardIdx[i] = oldIdx[j]
 	}
 }
 
@@ -316,8 +415,10 @@ func (p *adapterProto) onBeaconAsLeader(b *wire.Beacon) {
 			Leader: p.self, Version: p.view.Version, Members: uint32(p.view.Size()),
 			Admin: p.isAdmin(),
 		}
+		pkt := wire.NewPacket(nb)
 		_ = p.ep.Unicast(transport.PortBeacon,
-			transport.Addr{IP: b.Sender, Port: transport.PortBeacon}, wire.Encode(nb))
+			transport.Addr{IP: b.Sender, Port: transport.PortBeacon}, pkt.Bytes())
+		pkt.Free()
 	case b.Leader == b.Sender && b.Sender > p.self:
 		// Merging AMGs are led by the higher-IP leader: offer our members.
 		p.sendMember(b.Sender, &wire.MergeOffer{
@@ -327,7 +428,7 @@ func (p *adapterProto) onBeaconAsLeader(b *wire.Beacon) {
 }
 
 func (p *adapterProto) onMemberPacket(src, _ transport.Addr, payload []byte) {
-	if !p.d.running || p.state == stIdle {
+	if p.state == stIdle { // see onBeaconPacket: stIdle implies !running
 		return
 	}
 	msg, err := wire.Decode(payload)
@@ -377,21 +478,35 @@ func (p *adapterProto) onEvict(m *wire.Evict) {
 	}
 	cur := p.view.Leader()
 	if m.Leader == cur || m.Leader > cur || p.view.Contains(m.Leader) {
-		p.trace(trace.Record{Kind: trace.KEvicted, Peer: m.Leader,
+		p.trace(&trace.Record{Kind: trace.KEvicted, Peer: m.Leader,
 			Group: cur, Version: m.Version})
 		p.isolationOrphan()
 	}
 }
 
 func (p *adapterProto) onHeartbeatPacket(src, _ transport.Addr, payload []byte) {
-	if !p.d.running || p.state == stIdle {
+	if p.state == stIdle { // see onBeaconPacket: stIdle implies !running
+		return
+	}
+	from := src.IP
+	// Ring heartbeats dominate the steady state; give them an
+	// allocation-free path through a reused scratch message.
+	if t, ok := wire.Peek(payload); ok && t == wire.THeartbeat {
+		hb := &p.rxHB
+		if wire.DecodeInto(payload, hb) != nil {
+			return
+		}
+		p.noteActivity(hb.From)
+		p.checkPeerView(hb.From, hb.Leader, hb.Version)
+		if p.detector != nil {
+			p.detector.Handle(from, hb)
+		}
 		return
 	}
 	msg, err := wire.Decode(payload)
 	if err != nil {
 		return
 	}
-	from := src.IP
 	switch m := msg.(type) {
 	case *wire.Probe:
 		ack := &wire.ProbeAck{From: p.self, Nonce: m.Nonce}
@@ -483,11 +598,21 @@ func (p *adapterProto) noteActivity(from transport.IP) {
 }
 
 func (p *adapterProto) sendMember(dst transport.IP, m wire.Message) {
-	_ = p.ep.Unicast(transport.PortMember, transport.Addr{IP: dst, Port: transport.PortMember}, wire.Encode(m))
+	pkt := wire.NewPacket(m)
+	_ = p.ep.Unicast(transport.PortMember, transport.Addr{IP: dst, Port: transport.PortMember}, pkt.Bytes())
+	pkt.Free()
+}
+
+// sendMemberFan unicasts one pre-encoded packet to dst — the 2PC fan-out
+// path, where encoding once per round instead of once per member matters.
+func (p *adapterProto) sendMemberFan(dst transport.IP, pkt *wire.Packet) {
+	_ = p.ep.Unicast(transport.PortMember, transport.Addr{IP: dst, Port: transport.PortMember}, pkt.Bytes())
 }
 
 func (p *adapterProto) sendHeartbeatPlane(dst transport.IP, m wire.Message) {
-	_ = p.ep.Unicast(transport.PortHeartbeat, transport.Addr{IP: dst, Port: transport.PortHeartbeat}, wire.Encode(m))
+	pkt := wire.NewPacket(m)
+	_ = p.ep.Unicast(transport.PortHeartbeat, transport.Addr{IP: dst, Port: transport.PortHeartbeat}, pkt.Bytes())
+	pkt.Free()
 }
 
 // --- member-side 2PC ---
@@ -530,7 +655,7 @@ func (p *adapterProto) onPrepare(m *wire.Prepare) {
 	if !ok {
 		det = "rejected"
 	}
-	p.trace(trace.Record{Kind: trace.KPrepareRecv, Peer: m.Leader, Group: m.Leader,
+	p.trace(&trace.Record{Kind: trace.KPrepareRecv, Peer: m.Leader, Group: m.Leader,
 		Version: m.Version, Token: m.Token, Detail: det})
 	ack := &wire.PrepareAck{From: p.self, Leader: m.Leader, Version: m.Version, Token: m.Token, OK: ok}
 	p.sendMember(m.Leader, ack)
@@ -566,7 +691,7 @@ func (p *adapterProto) onCommit(m *wire.Commit) {
 		if pv.timer != nil {
 			pv.timer.Stop()
 		}
-		p.trace(trace.Record{Kind: trace.KCommitRecv, Peer: m.Leader, Group: m.Leader,
+		p.trace(&trace.Record{Kind: trace.KCommitRecv, Peer: m.Leader, Group: m.Leader,
 			Version: m.Version, Token: m.Token})
 		p.adoptView(pv.view, m.Leader)
 		return
@@ -584,7 +709,7 @@ func (p *adapterProto) onCommit(m *wire.Commit) {
 	if !v.Contains(p.self) {
 		return
 	}
-	p.trace(trace.Record{Kind: trace.KCommitRecv, Peer: m.Leader, Group: m.Leader,
+	p.trace(&trace.Record{Kind: trace.KCommitRecv, Peer: m.Leader, Group: m.Leader,
 		Version: m.Version, Token: m.Token, Detail: "direct"})
 	p.adoptView(v, m.Leader)
 }
@@ -620,13 +745,13 @@ func (p *adapterProto) onAbort(m *wire.Abort) {
 			p.pending.timer.Stop()
 		}
 		p.pending = nil
-		p.trace(trace.Record{Kind: trace.KAbortRecv, Peer: m.Leader, Group: m.Leader, Token: m.Token})
+		p.trace(&trace.Record{Kind: trace.KAbortRecv, Peer: m.Leader, Group: m.Leader, Token: m.Token})
 	}
 }
 
 // commitView finalizes a membership view locally (both roles).
 func (p *adapterProto) commitView(v amg.Membership) {
-	p.trace(trace.Record{Kind: trace.KViewCommit, Group: v.Leader(),
+	p.trace(&trace.Record{Kind: trace.KViewCommit, Group: v.Leader(),
 		Version: v.Version, Count: uint32(v.Size())})
 	p.view = v
 	p.lastGroupActivity = p.now()
@@ -658,13 +783,13 @@ func (p *adapterProto) reportSuspect(suspect transport.IP, reason wire.SuspectRe
 	if !p.ep.Loopback() {
 		// Our own adapter is broken; blaming the neighbor would be the
 		// §3 false-report flaw. Stay quiet and let others detect us.
-		p.trace(trace.Record{Kind: trace.KLoopbackFailed, Peer: suspect, Detail: reason.String()})
+		p.trace(&trace.Record{Kind: trace.KLoopbackFailed, Peer: suspect, Detail: reason.String()})
 		return
 	}
 	if p.d.hooks.Suspicion != nil {
 		p.d.hooks.Suspicion(p.self, suspect, reason)
 	}
-	p.trace(trace.Record{Kind: trace.KSuspicionRaised, Peer: suspect,
+	p.trace(&trace.Record{Kind: trace.KSuspicionRaised, Peer: suspect,
 		Group: p.view.Leader(), Version: p.view.Version, Detail: reason.String()})
 	if p.state == stMember && p.firstSuspicionAt == 0 {
 		p.firstSuspicionAt = p.now()
@@ -688,7 +813,7 @@ func (p *adapterProto) onSuspect(m *wire.Suspect) {
 	if !p.view.Contains(m.Suspect) {
 		return
 	}
-	p.trace(trace.Record{Kind: trace.KSuspicionRecv, Peer: m.Suspect,
+	p.trace(&trace.Record{Kind: trace.KSuspicionRecv, Peer: m.Suspect,
 		Group: p.view.Leader(), Version: m.Version, Detail: m.Reason.String()})
 	switch {
 	case p.state == stLeader:
@@ -712,7 +837,7 @@ func (p *adapterProto) onSuspect(m *wire.Suspect) {
 func (p *adapterProto) takeOverLeadership() {
 	oldLeader := p.view.Leader()
 	oldVersion := p.view.Version
-	p.trace(trace.Record{Kind: trace.KLeaderTakeover, Peer: oldLeader,
+	p.trace(&trace.Record{Kind: trace.KLeaderTakeover, Peer: oldLeader,
 		Group: oldLeader, Version: oldVersion})
 	p.becomeLeader()
 	// Our full report supersedes the old group (by leader AND version —
@@ -748,7 +873,7 @@ func (p *adapterProto) verifySuspect(target transport.IP, verdict func(probeResu
 }
 
 func (p *adapterProto) sendProbe(nonce uint64, ps *probeState) {
-	p.trace(trace.Record{Kind: trace.KProbeSent, Peer: ps.target, Token: nonce})
+	p.trace(&trace.Record{Kind: trace.KProbeSent, Peer: ps.target, Token: nonce})
 	p.sendHeartbeatPlane(ps.target, &wire.Probe{From: p.self, Nonce: nonce})
 	ps.timer = p.clock().AfterFunc(p.d.cfg.ProbeTimeout, func() {
 		cur, ok := p.probes[nonce]
@@ -761,7 +886,7 @@ func (p *adapterProto) sendProbe(nonce uint64, ps *probeState) {
 			return
 		}
 		delete(p.probes, nonce)
-		p.trace(trace.Record{Kind: trace.KVerdictDead, Peer: ps.target, Token: nonce})
+		p.trace(&trace.Record{Kind: trace.KVerdictDead, Peer: ps.target, Token: nonce})
 		ps.verdict(probeResult{dead: true})
 	})
 }
@@ -773,7 +898,7 @@ func (p *adapterProto) onProbeAck(m *wire.ProbeAck) {
 				ps.timer.Stop()
 			}
 			delete(p.probes, nonce)
-			p.trace(trace.Record{Kind: trace.KVerdictAlive, Peer: m.From,
+			p.trace(&trace.Record{Kind: trace.KVerdictAlive, Peer: m.From,
 				Group: m.Leader, Version: m.Version, Token: nonce})
 			ps.verdict(probeResult{leader: m.Leader, version: m.Version})
 		}
@@ -787,13 +912,17 @@ func (p *adapterProto) onProbeAck(m *wire.ProbeAck) {
 // of a catastrophic partition. The adapter reverts to a singleton and
 // beacons; the new segment's leader absorbs it.
 func (p *adapterProto) orphanCheck() {
-	p.orphanTick = nil
 	if p.state == stIdle {
+		p.orphanTick = nil
 		return
 	}
 	defer func() {
-		if p.state != stIdle {
-			p.orphanTick = p.clock().AfterFunc(p.d.cfg.DetectorParams.Interval, p.orphanCheck)
+		// Re-arm by Reset: the body may have shut the adapter down (nil
+		// timer) or restarted it (fresh timer — Reset just re-times it).
+		if p.state != stIdle && p.orphanTick != nil {
+			p.orphanTick.Reset(p.d.cfg.DetectorParams.Interval)
+		} else {
+			p.orphanTick = nil
 		}
 	}()
 	grouped := (p.state == stMember || p.state == stLeader) && p.view.Size() > 1
@@ -877,7 +1006,7 @@ func (p *adapterProto) escalateSuspicion() {
 // a fresh singleton leader. The lineage break is flagged so Central does
 // not misread the reformation as the old group dying.
 func (p *adapterProto) isolationOrphan() {
-	p.trace(trace.Record{Kind: trace.KOrphaned,
+	p.trace(&trace.Record{Kind: trace.KOrphaned,
 		Group: p.view.Leader(), Version: p.view.Version})
 	if p.d.hooks.Orphaned != nil {
 		p.d.hooks.Orphaned(p.self)

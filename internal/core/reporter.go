@@ -44,7 +44,7 @@ func (r *reporter) enqueue(rep *wire.Report) {
 	if rep.Full {
 		det = "full"
 	}
-	r.d.trace(trace.Record{Kind: trace.KReportQueued, Self: r.d.AdminIP(),
+	r.d.trace(&trace.Record{Kind: trace.KReportQueued, Self: r.d.AdminIP(),
 		Group: rep.Leader, Version: rep.Version, Token: rep.Seq, Detail: det})
 	r.queue = append(r.queue, rep)
 	r.kick()
@@ -80,21 +80,24 @@ func (r *reporter) transmit() {
 	dst := r.d.centralIP
 	if dst != 0 && r.d.running {
 		admin := r.d.admin()
+		pkt := wire.NewPacket(r.inflight)
 		_ = admin.ep.Unicast(transport.PortReport,
-			transport.Addr{IP: dst, Port: transport.PortReport}, wire.Encode(r.inflight))
+			transport.Addr{IP: dst, Port: transport.PortReport}, pkt.Bytes())
+		pkt.Free()
 	}
 	// Retry until acked (or Central moves / daemon dies).
 	if r.timer != nil {
-		r.timer.Stop()
+		r.timer.Reset(r.d.cfg.ReportRetry)
+	} else {
+		r.timer = r.d.clock.AfterFunc(r.d.cfg.ReportRetry, r.transmit)
 	}
-	r.timer = r.d.clock.AfterFunc(r.d.cfg.ReportRetry, r.transmit)
 }
 
 func (r *reporter) onAck(seq uint64) {
 	if r.inflight == nil || r.inflight.Seq != seq {
 		return
 	}
-	r.d.trace(trace.Record{Kind: trace.KReportAcked, Self: r.d.AdminIP(),
+	r.d.trace(&trace.Record{Kind: trace.KReportAcked, Self: r.d.AdminIP(),
 		Group: r.inflight.Leader, Version: r.inflight.Version, Token: seq})
 	r.inflight = nil
 	if r.timer != nil {

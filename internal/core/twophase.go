@@ -233,14 +233,19 @@ func (r *twoPCRound) send() {
 		r.commit()
 		return
 	}
-	p.trace(trace.Record{Kind: trace.KPrepareSent, Group: p.self,
+	p.trace(&trace.Record{Kind: trace.KPrepareSent, Group: p.self,
 		Version: r.target.Version, Token: r.token, Count: uint32(len(r.target.Members))})
+	// Encode once, fan the same packet out to every member: the Prepare
+	// carries the full member list, so per-member encoding would be O(N²)
+	// bytes per round.
 	prep := &wire.Prepare{Leader: p.self, Version: r.target.Version, Token: r.token, Op: r.op, Members: r.target.Members}
+	pkt := wire.NewPacket(prep)
 	for _, m := range r.target.Members {
 		if m.IP != p.self {
-			p.sendMember(m.IP, prep)
+			p.sendMemberFan(m.IP, pkt)
 		}
 	}
+	pkt.Free()
 	r.timer = p.clock().AfterFunc(p.d.cfg.CommitTimeout, r.timeout)
 }
 
@@ -257,7 +262,7 @@ func (l *leaderState) onPrepareAck(m *wire.PrepareAck) {
 	if !m.OK {
 		det = "rejected"
 	}
-	l.p.trace(trace.Record{Kind: trace.KPrepareAck, Peer: m.From, Group: l.p.self,
+	l.p.trace(&trace.Record{Kind: trace.KPrepareAck, Peer: m.From, Group: l.p.self,
 		Version: m.Version, Token: m.Token, Detail: det})
 	if !m.OK {
 		// The member refused (it belongs to a higher leader, or raced
@@ -285,13 +290,20 @@ func (r *twoPCRound) timeout() {
 	r.timer = nil
 	if r.resends < p.d.cfg.CommitRetries {
 		r.resends++
-		p.trace(trace.Record{Kind: trace.KPrepareSent, Group: p.self,
+		p.trace(&trace.Record{Kind: trace.KPrepareSent, Group: p.self,
 			Version: r.target.Version, Token: r.token,
 			Count: uint32(len(r.target.Members)), Detail: "resend"})
 		prep := &wire.Prepare{Leader: p.self, Version: r.target.Version, Token: r.token, Op: r.op, Members: r.target.Members}
-		for ip := range r.waiting {
-			p.sendMember(ip, prep)
+		pkt := wire.NewPacket(prep)
+		// Resend in ascending IP order: iterating the waiting map directly
+		// would consume the shared RNG (loss/latency draws) in map order and
+		// break run-for-run determinism.
+		for _, m := range r.target.Members {
+			if r.waiting[m.IP] {
+				p.sendMemberFan(m.IP, pkt)
+			}
 		}
+		pkt.Free()
 		r.timer = p.clock().AfterFunc(p.d.cfg.CommitTimeout, r.timeout)
 		return
 	}
@@ -324,7 +336,7 @@ func (r *twoPCRound) retarget(target amg.Membership) {
 		return
 	}
 	target.Version = r.target.Version
-	p.trace(trace.Record{Kind: trace.KRetarget, Group: p.self,
+	p.trace(&trace.Record{Kind: trace.KRetarget, Group: p.self,
 		Version: target.Version, Token: r.token, Count: uint32(len(target.Members))})
 	r.target = target
 	r.waiting = make(map[transport.IP]bool)
@@ -343,14 +355,16 @@ func (r *twoPCRound) commit() {
 	p := r.l.p
 	r.done = true
 	r.l.round = nil
-	p.trace(trace.Record{Kind: trace.KCommitSent, Group: p.self,
+	p.trace(&trace.Record{Kind: trace.KCommitSent, Group: p.self,
 		Version: r.target.Version, Token: r.token, Count: uint32(len(r.target.Members))})
 	c := &wire.Commit{Leader: p.self, Version: r.target.Version, Token: r.token, Members: r.target.Members}
+	pkt := wire.NewPacket(c)
 	for _, m := range r.target.Members {
 		if m.IP != p.self {
-			p.sendMember(m.IP, c)
+			p.sendMemberFan(m.IP, pkt)
 		}
 	}
+	pkt.Free()
 	if p.d.hooks.Death != nil {
 		for _, ip := range r.deaths {
 			if !r.target.Contains(ip) {
@@ -443,7 +457,7 @@ func (s *suspicionState) verify() {
 			// false (the paper: "If the reported failure proves to be
 			// false, it is ignored"). Refresh its view in case it is the
 			// stale one.
-			p.trace(trace.Record{Kind: trace.KFalseAccusation, Peer: suspect,
+			p.trace(&trace.Record{Kind: trace.KFalseAccusation, Peer: suspect,
 				Group: p.self, Version: p.view.Version})
 			if res.version < p.view.Version {
 				l.refreshMember(suspect)

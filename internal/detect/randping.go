@@ -63,7 +63,6 @@ func (r *randPing) tick() {
 	if r.stopped {
 		return
 	}
-	r.ticker = nil
 	if len(r.peers) > 0 {
 		target := r.peers[r.env.Rand().Intn(len(r.peers))]
 		r.nonce++
@@ -73,7 +72,10 @@ func (r *randPing) tick() {
 		r.waiting[nonce] = round
 		round.timer = r.env.Clock().AfterFunc(r.p.PingTimeout, func() { r.directTimeout(nonce) })
 	}
-	r.ticker = r.env.Clock().AfterFunc(r.p.Interval, r.tick)
+	if r.stopped || r.ticker == nil {
+		return
+	}
+	r.ticker.Reset(r.p.Interval)
 }
 
 // directTimeout escalates to indirect pings through up to Proxies members.
@@ -191,6 +193,7 @@ type subgroupDetector struct {
 	targets []transport.IP
 	mon     *monitorSet
 	seq     uint64
+	hb      wire.Heartbeat // reused each tick
 	ticker  transport.Timer
 	stopped bool
 
@@ -257,10 +260,10 @@ func (s *subgroupDetector) tick() {
 	if s.stopped {
 		return
 	}
-	s.ticker = nil
 	s.seq++
+	s.hb = wire.Heartbeat{From: s.env.Self(), Seq: s.seq, Version: s.view.Version, Leader: s.view.Leader()}
 	for _, t := range s.targets {
-		s.env.Send(t, &wire.Heartbeat{From: s.env.Self(), Seq: s.seq, Version: s.view.Version, Leader: s.view.Leader()})
+		s.env.Send(t, &s.hb)
 	}
 	limit := time.Duration(s.p.MissThreshold) * s.p.Interval
 	now := s.env.Clock().Now()
@@ -268,7 +271,10 @@ func (s *subgroupDetector) tick() {
 		s.mon.markSuspected(ip, now)
 		s.env.ReportSuspect(ip, wire.ReasonMissedHeartbeats)
 	}
-	s.ticker = s.env.Clock().AfterFunc(s.p.Interval, s.tick)
+	if s.stopped || s.ticker == nil {
+		return
+	}
+	s.ticker.Reset(s.p.Interval)
 }
 
 // poll sends a SubPoll to every foreign subgroup, trying each member in
@@ -278,7 +284,6 @@ func (s *subgroupDetector) poll() {
 	if s.stopped {
 		return
 	}
-	s.pollTicker = nil
 	subs := s.view.Subgroups(s.p.SubgroupSize)
 	for i, sub := range subs {
 		if i == s.subIdx {
@@ -286,7 +291,10 @@ func (s *subgroupDetector) poll() {
 		}
 		s.pollSubgroup(uint32(i), sub, 0)
 	}
-	s.pollTicker = s.env.Clock().AfterFunc(s.p.PollInterval, s.poll)
+	if s.stopped || s.pollTicker == nil {
+		return
+	}
+	s.pollTicker.Reset(s.p.PollInterval)
 }
 
 func (s *subgroupDetector) pollSubgroup(idx uint32, sub []wire.Member, attempt int) {

@@ -22,6 +22,7 @@ type ringDetector struct {
 	targets []transport.IP // who we heartbeat
 	mon     *monitorSet    // who we expect heartbeats from
 	seq     uint64
+	hb      wire.Heartbeat // reused each tick; Send does not retain it
 	ticker  transport.Timer
 	stopped bool
 }
@@ -86,20 +87,25 @@ func (r *ringDetector) tick() {
 	if r.stopped {
 		return
 	}
-	r.ticker = nil
 	r.seq++
+	r.hb = wire.Heartbeat{From: r.env.Self(), Seq: r.seq, Version: r.view.Version, Leader: r.view.Leader()}
 	for _, t := range r.targets {
-		r.env.Send(t, &wire.Heartbeat{From: r.env.Self(), Seq: r.seq, Version: r.view.Version, Leader: r.view.Leader()})
+		r.env.Send(t, &r.hb)
 	}
 	limit := time.Duration(r.p.MissThreshold) * r.p.Interval
 	now := r.env.Clock().Now()
 	over := r.mon.overdue(now, limit, limit)
-	sort.Slice(over, func(i, j int) bool { return over[i] < over[j] })
+	if len(over) > 1 {
+		sort.Slice(over, func(i, j int) bool { return over[i] < over[j] })
+	}
 	for _, ip := range over {
 		r.mon.markSuspected(ip, now)
 		r.env.ReportSuspect(ip, wire.ReasonMissedHeartbeats)
 	}
-	r.ticker = r.env.Clock().AfterFunc(r.p.Interval, r.tick)
+	if r.stopped || r.ticker == nil {
+		return // a callback above stopped us mid-tick
+	}
+	r.ticker.Reset(r.p.Interval)
 }
 
 // Handle implements Detector.
@@ -132,6 +138,7 @@ type allToAll struct {
 	peers   []transport.IP
 	mon     *monitorSet
 	seq     uint64
+	hb      wire.Heartbeat // reused each tick
 	ticker  transport.Timer
 	stopped bool
 }
@@ -163,20 +170,25 @@ func (a *allToAll) tick() {
 	if a.stopped {
 		return
 	}
-	a.ticker = nil
 	a.seq++
+	a.hb = wire.Heartbeat{From: a.env.Self(), Seq: a.seq, Version: a.view.Version, Leader: a.view.Leader()}
 	for _, p := range a.peers {
-		a.env.Send(p, &wire.Heartbeat{From: a.env.Self(), Seq: a.seq, Version: a.view.Version, Leader: a.view.Leader()})
+		a.env.Send(p, &a.hb)
 	}
 	limit := time.Duration(a.p.MissThreshold) * a.p.Interval
 	now := a.env.Clock().Now()
 	over := a.mon.overdue(now, limit, limit)
-	sort.Slice(over, func(i, j int) bool { return over[i] < over[j] })
+	if len(over) > 1 {
+		sort.Slice(over, func(i, j int) bool { return over[i] < over[j] })
+	}
 	for _, ip := range over {
 		a.mon.markSuspected(ip, now)
 		a.env.ReportSuspect(ip, wire.ReasonMissedHeartbeats)
 	}
-	a.ticker = a.env.Clock().AfterFunc(a.p.Interval, a.tick)
+	if a.stopped || a.ticker == nil {
+		return
+	}
+	a.ticker.Reset(a.p.Interval)
 }
 
 // Handle implements Detector.

@@ -1,0 +1,247 @@
+package exp
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/transport"
+)
+
+// ScaleOptions parameterizes the E14 scale sweep: cold-start a uniform
+// farm at each adapter count and measure how fast the event kernel pushes
+// it to stability.
+type ScaleOptions struct {
+	Seed int64
+	// Adapters are the total adapter counts to sweep; each uniform node
+	// carries AdaptersPerNode adapters, so nodes = adapters/AdaptersPerNode.
+	Adapters        []int
+	AdaptersPerNode int
+	Trials          int
+	// Workers bounds how many trials run concurrently (wall-clock
+	// convenience on multi-core machines). Per-trial events/sec is only an
+	// honest throughput figure with Workers=1; above that the reported
+	// rates share cores and understate the kernel.
+	Workers int
+	// BeaconPhase is Tb for every run (the sweep holds protocol timing
+	// fixed so only farm size varies).
+	BeaconPhase time.Duration
+	StartSkew   time.Duration
+	Timeout     time.Duration
+	// JSONPath, when non-empty, also writes the results as JSON
+	// (BENCH_scale.json in CI).
+	JSONPath string
+}
+
+// DefaultScale sweeps 500 to 4,000 adapters — the paper's testbed tops
+// out at 165, so everything past the first point is extrapolation the
+// simulator makes affordable.
+func DefaultScale() ScaleOptions {
+	return ScaleOptions{
+		Seed:            99,
+		Adapters:        []int{500, 1000, 2000, 4000},
+		AdaptersPerNode: 2,
+		Trials:          3,
+		Workers:         1,
+		BeaconPhase:     5 * time.Second,
+		StartSkew:       2 * time.Second,
+		Timeout:         10 * time.Minute,
+	}
+}
+
+// ScaleTrial is one measured cold start.
+type ScaleTrial struct {
+	Seed         int64   `json:"seed"`
+	StableSecs   float64 `json:"stable_secs"`    // simulated time to farm stability
+	WallSecs     float64 `json:"wall_secs"`      // real time for the run
+	Fired        uint64  `json:"fired"`          // events executed
+	EventsPerSec float64 `json:"events_per_sec"` // Fired / WallSecs
+	TopoHash     uint64  `json:"topo_hash"`      // FNV-1a over Central's sorted view
+}
+
+// ScalePoint aggregates the trials at one adapter count.
+type ScalePoint struct {
+	Adapters int          `json:"adapters"`
+	Nodes    int          `json:"nodes"`
+	Trials   []ScaleTrial `json:"trials"`
+	// AllocsPerEvent and BytesPerEvent are process-wide ReadMemStats
+	// deltas across the whole batch divided by total events fired, so they
+	// stay exact even when trials run concurrently.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// ScaleFarm builds the uniform farm for one scale trial. Exposed so the
+// determinism test can run the identical configuration twice.
+func ScaleFarm(o ScaleOptions, adapters int, seed int64) (*farm.Farm, error) {
+	cfg := core.DefaultConfig()
+	cfg.BeaconPhase = o.BeaconPhase
+	return farm.Build(farm.Spec{
+		Seed:            seed,
+		UniformNodes:    adapters / o.AdaptersPerNode,
+		UniformAdapters: o.AdaptersPerNode,
+		StartSkew:       o.StartSkew,
+		Core:            cfg,
+	})
+}
+
+// TopologyHash digests Central's discovered view — every group leader and
+// its sorted members — so two runs can be compared for exact agreement
+// without retaining either view.
+func TopologyHash(f *farm.Farm) uint64 {
+	c := f.ActiveCentral()
+	if c == nil {
+		return 0
+	}
+	groups := c.Groups()
+	leaders := make([]transport.IP, 0, len(groups))
+	for l := range groups {
+		leaders = append(leaders, l)
+	}
+	sort.Slice(leaders, func(i, j int) bool { return leaders[i] < leaders[j] })
+	h := fnv.New64a()
+	var buf [4]byte
+	put := func(ip transport.IP) {
+		binary.BigEndian.PutUint32(buf[:], uint32(ip))
+		h.Write(buf[:])
+	}
+	for _, l := range leaders {
+		put(l)
+		for _, m := range groups[l] {
+			put(m)
+		}
+		buf = [4]byte{} // group separator
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// ScaleTrialRun cold-starts one farm and measures it to stability.
+func ScaleTrialRun(o ScaleOptions, adapters int, seed int64) (ScaleTrial, error) {
+	f, err := ScaleFarm(o, adapters, seed)
+	if err != nil {
+		return ScaleTrial{}, err
+	}
+	start := time.Now()
+	f.Start()
+	at, ok := f.RunUntilStable(o.Timeout)
+	wall := time.Since(start)
+	if !ok {
+		return ScaleTrial{}, fmt.Errorf("exp: scale run (adapters=%d seed=%d) never stabilized", adapters, seed)
+	}
+	fired := f.Sched.Fired()
+	return ScaleTrial{
+		Seed:         seed,
+		StableSecs:   at.Seconds(),
+		WallSecs:     wall.Seconds(),
+		Fired:        fired,
+		EventsPerSec: float64(fired) / wall.Seconds(),
+		TopoHash:     TopologyHash(f),
+	}, nil
+}
+
+// ScaleSweep measures every (adapter count, trial) cell and returns the
+// aggregated points.
+func ScaleSweep(o ScaleOptions) ([]ScalePoint, error) {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	points := make([]ScalePoint, 0, len(o.Adapters))
+	for _, a := range o.Adapters {
+		pt := ScalePoint{Adapters: a, Nodes: a / o.AdaptersPerNode}
+		trials := make([]ScaleTrial, o.Trials)
+		errs := make([]error, o.Trials)
+
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+
+		sem := make(chan struct{}, o.Workers)
+		var wg sync.WaitGroup
+		for i := 0; i < o.Trials; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				trials[i], errs[i] = ScaleTrialRun(o, a, o.Seed+int64(i)*7919)
+			}(i)
+		}
+		wg.Wait()
+		runtime.ReadMemStats(&m1)
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		var fired uint64
+		for _, tr := range trials {
+			fired += tr.Fired
+		}
+		pt.Trials = trials
+		pt.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(fired)
+		pt.BytesPerEvent = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(fired)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// medianFloat returns the middle value (by sort) of a non-empty slice.
+func medianFloat(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// Scale runs the E14 sweep and renders the table. When o.JSONPath is set
+// the raw points are also written there as JSON.
+func Scale(o ScaleOptions) (*Table, error) {
+	points, err := ScaleSweep(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "E14/scale",
+		Title: fmt.Sprintf("cold-start scale sweep, %d trials per size (Tb=%ds, skew=%v)",
+			o.Trials, int(o.BeaconPhase.Seconds()), o.StartSkew),
+		Columns: []string{"adapters", "nodes", "stable(s)", "events", "med ev/s", "allocs/ev", "B/ev"},
+	}
+	for _, pt := range points {
+		var stable, evps []float64
+		for _, tr := range pt.Trials {
+			stable = append(stable, tr.StableSecs)
+			evps = append(evps, tr.EventsPerSec)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", pt.Adapters),
+			fmt.Sprintf("%d", pt.Nodes),
+			fmt.Sprintf("%.1f", medianFloat(stable)),
+			fmt.Sprintf("%d", pt.Trials[0].Fired),
+			fmt.Sprintf("%.0f", medianFloat(evps)),
+			fmt.Sprintf("%.2f", pt.AllocsPerEvent),
+			fmt.Sprintf("%.0f", pt.BytesPerEvent),
+		)
+	}
+	t.Note("stable(s) is simulated time (= Tb+Ts+Tgsc+δ, size-invariant per the paper); ev/s is wall-clock kernel throughput")
+	t.Note("allocs/ev and B/ev are process-wide ReadMemStats deltas over the whole batch: formation-time decode/build")
+	t.Note("dominates the byte count, the steady state runs allocation-free (see DESIGN.md §9)")
+	if o.JSONPath != "" {
+		blob, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(o.JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		t.Note("raw points written to %s", o.JSONPath)
+	}
+	return t, nil
+}

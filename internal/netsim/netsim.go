@@ -6,8 +6,18 @@
 //
 // Which adapters share a segment is not decided here: a SegmentResolver —
 // in practice the switch fabric in internal/switchsim — maps each adapter
-// to a segment, so VLAN reconfiguration moves adapters between segments
-// without netsim noticing anything but a version bump.
+// to a segment. A resolver that can attribute changes to individual
+// adapters (NotifyingResolver) lets the network maintain its
+// segment-membership cache incrementally; otherwise the cache is rebuilt
+// whenever the resolver's version moves. Each adapter holds a pointer to
+// its current segment bucket, so the steady-state send path resolves the
+// sender and its peers without touching a map.
+//
+// The delivery path is allocation-free in the steady state: payloads are
+// copied exactly once per transmission into a pooled buffer shared by all
+// receivers, and the in-flight delivery records are pooled too. Receivers
+// must not retain a delivered payload beyond the handler call (see
+// transport.Handler and DESIGN.md §9).
 package netsim
 
 import (
@@ -29,6 +39,18 @@ type SegmentResolver interface {
 	SegmentOf(ip transport.IP) (string, bool)
 	// Version increments on every topology change.
 	Version() uint64
+}
+
+// NotifyingResolver is an optional extension of SegmentResolver for
+// resolvers that can say which adapter a topology change affected.
+// Notify registers two callbacks: perIP, invoked with each adapter whose
+// connectivity may have changed, and bulk, invoked when a change cannot
+// be attributed to specific adapters. A Network attached to a
+// NotifyingResolver updates its segment-membership cache incrementally
+// instead of rebuilding it from scratch on every change.
+type NotifyingResolver interface {
+	SegmentResolver
+	Notify(perIP func(transport.IP), bulk func())
 }
 
 // LinkProfile describes delivery quality on a segment. Loss is the
@@ -83,6 +105,26 @@ type Trace struct {
 	Dropped   int // copies lost to the loss model
 }
 
+// segment is one broadcast domain's cache bucket: its members in
+// ascending-IP order plus the resolved link profile, so a sender reaches
+// both through a single pointer.
+type segment struct {
+	name     string
+	members  []*Adapter // ascending IP
+	profile  LinkProfile
+	override bool // profile explicitly set; otherwise the network default applies
+}
+
+// find locates the member with the given address, or nil.
+func (s *segment) find(ip transport.IP) *Adapter {
+	ms := s.members
+	i := sort.Search(len(ms), func(i int) bool { return ms[i].ip >= ip })
+	if i < len(ms) && ms[i].ip == ip {
+		return ms[i]
+	}
+	return nil
+}
+
 // Network is the simulated fabric. It is driven entirely by the
 // scheduler's event loop and is not safe for concurrent use.
 type Network struct {
@@ -95,9 +137,19 @@ type Network struct {
 	defaultProfile LinkProfile
 	segProfiles    map[string]LinkProfile
 
-	// segment-membership cache, invalidated on resolver version change
+	// Segment-membership cache. With a NotifyingResolver it is maintained
+	// incrementally (incremental=true, per-adapter callbacks); otherwise
+	// a resolver version change forces a full rebuild. dirty marks a
+	// pending rebuild in either mode.
+	incremental  bool
+	dirty        bool
 	cacheVersion uint64
-	segMembers   map[string][]*Adapter
+	segments     map[string]*segment
+
+	// Free lists for in-flight packet state. The network lives on a
+	// single-threaded scheduler, so plain slices suffice — no locking.
+	freeDel []*delivery
+	freeBuf []*packetBuf
 
 	tap func(Trace)
 }
@@ -105,14 +157,20 @@ type Network struct {
 // New creates a network on the given scheduler with the resolver deciding
 // segment membership.
 func New(sched *sim.Scheduler, resolver SegmentResolver) *Network {
-	return &Network{
+	n := &Network{
 		sched:          sched,
 		resolver:       resolver,
 		adapters:       make(map[transport.IP]*Adapter),
 		defaultProfile: LinkProfile{Latency: 200 * time.Microsecond, Jitter: 300 * time.Microsecond},
 		segProfiles:    make(map[string]LinkProfile),
-		cacheVersion:   ^uint64(0),
+		segments:       make(map[string]*segment),
+		dirty:          true,
 	}
+	if nr, ok := resolver.(NotifyingResolver); ok {
+		n.incremental = true
+		nr.Notify(n.adapterMoved, n.invalidate)
+	}
+	return n
 }
 
 // Scheduler returns the scheduler driving this network.
@@ -123,17 +181,21 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 func (n *Network) SetDefaultProfile(p LinkProfile) { n.defaultProfile = p }
 
 // SetSegmentProfile overrides the link profile for one segment.
-func (n *Network) SetSegmentProfile(segment string, p LinkProfile) {
-	n.segProfiles[segment] = p
+func (n *Network) SetSegmentProfile(name string, p LinkProfile) {
+	n.segProfiles[name] = p
+	if seg := n.segments[name]; seg != nil {
+		seg.profile = p
+		seg.override = true
+	}
 }
 
 // Tap installs fn to observe every transmission attempt. A nil fn removes
 // the tap.
 func (n *Network) Tap(fn func(Trace)) { n.tap = fn }
 
-func (n *Network) profileFor(segment string) LinkProfile {
-	if p, ok := n.segProfiles[segment]; ok {
-		return p
+func (n *Network) effectiveProfile(seg *segment) LinkProfile {
+	if seg.override {
+		return seg.profile
 	}
 	return n.defaultProfile
 }
@@ -146,18 +208,24 @@ func (n *Network) AddAdapter(ip transport.IP, node string) *Adapter {
 		panic(fmt.Sprintf("netsim: duplicate adapter %v", ip))
 	}
 	a := &Adapter{
-		net:      n,
-		ip:       ip,
-		node:     node,
-		bindings: make(map[uint16]transport.Handler),
-		groups:   make(map[transport.Addr]bool),
+		net:  n,
+		ip:   ip,
+		node: node,
 	}
 	n.adapters[ip] = a
 	i := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= ip })
 	n.order = append(n.order, 0)
 	copy(n.order[i+1:], n.order[i:])
 	n.order[i] = ip
-	n.invalidate()
+	if n.incremental {
+		if !n.dirty {
+			if name, ok := n.resolver.SegmentOf(ip); ok {
+				n.insertMember(n.getSegment(name), a)
+			}
+		}
+	} else {
+		n.invalidate()
+	}
 	return a
 }
 
@@ -173,28 +241,109 @@ func (n *Network) Adapters() []*Adapter {
 	return out
 }
 
-func (n *Network) invalidate() { n.cacheVersion = ^uint64(0) }
+// invalidate schedules a full cache rebuild (the bulk-change path).
+func (n *Network) invalidate() { n.dirty = true }
 
-// members returns the adapters currently attached to segment, rebuilding
-// the cache if the resolver's topology version moved.
-func (n *Network) members(segment string) []*Adapter {
-	if v := n.resolver.Version(); v != n.cacheVersion || n.segMembers == nil {
-		n.segMembers = make(map[string][]*Adapter)
-		for _, ip := range n.order {
-			if seg, ok := n.resolver.SegmentOf(ip); ok {
-				n.segMembers[seg] = append(n.segMembers[seg], n.adapters[ip])
-			}
-		}
-		n.cacheVersion = v
+// ensure refreshes the segment cache as the mode requires; every read of
+// segment state goes through it first.
+func (n *Network) ensure() {
+	if n.dirty || (!n.incremental && n.resolver.Version() != n.cacheVersion) {
+		n.rebuild()
 	}
-	return n.segMembers[segment]
+}
+
+// getSegment returns the named bucket, creating it (with any registered
+// profile override) on first sight.
+func (n *Network) getSegment(name string) *segment {
+	seg := n.segments[name]
+	if seg == nil {
+		seg = &segment{name: name}
+		if p, ok := n.segProfiles[name]; ok {
+			seg.profile = p
+			seg.override = true
+		}
+		n.segments[name] = seg
+	}
+	return seg
+}
+
+// adapterMoved is the per-adapter path of the incremental cache: called by
+// a NotifyingResolver whenever one adapter's connectivity may have
+// changed, it re-resolves just that adapter and splices it between
+// segment buckets.
+func (n *Network) adapterMoved(ip transport.IP) {
+	if n.dirty {
+		return // full rebuild already pending; it will pick this up
+	}
+	a := n.adapters[ip]
+	if a == nil {
+		return // resolver knows the IP before AddAdapter; that re-resolves
+	}
+	name, ok := n.resolver.SegmentOf(ip)
+	if old := a.seg; old != nil {
+		if ok && old.name == name {
+			return
+		}
+		n.dropMember(old, a)
+	}
+	if ok {
+		n.insertMember(n.getSegment(name), a)
+	}
+}
+
+// insertMember splices a into the segment's bucket, keeping ascending IP
+// order so iteration stays deterministic.
+func (n *Network) insertMember(seg *segment, a *Adapter) {
+	ms := seg.members
+	i := sort.Search(len(ms), func(i int) bool { return ms[i].ip >= a.ip })
+	ms = append(ms, nil)
+	copy(ms[i+1:], ms[i:])
+	ms[i] = a
+	seg.members = ms
+	a.seg = seg
+}
+
+func (n *Network) dropMember(seg *segment, a *Adapter) {
+	ms := seg.members
+	i := sort.Search(len(ms), func(i int) bool { return ms[i].ip >= a.ip })
+	if i < len(ms) && ms[i] == a {
+		copy(ms[i:], ms[i+1:])
+		ms[len(ms)-1] = nil
+		seg.members = ms[:len(ms)-1]
+	}
+	a.seg = nil
+}
+
+// rebuild reconstructs the whole cache from the resolver.
+func (n *Network) rebuild() {
+	for _, seg := range n.segments {
+		for i := range seg.members {
+			seg.members[i] = nil
+		}
+		seg.members = seg.members[:0]
+	}
+	for _, ip := range n.order {
+		a := n.adapters[ip]
+		a.seg = nil
+		if name, ok := n.resolver.SegmentOf(ip); ok {
+			seg := n.getSegment(name)
+			seg.members = append(seg.members, a) // n.order is ascending
+			a.seg = seg
+		}
+	}
+	n.cacheVersion = n.resolver.Version()
+	n.dirty = false
 }
 
 // SegmentMembers lists the addresses attached to segment, ascending.
-func (n *Network) SegmentMembers(segment string) []transport.IP {
-	ms := n.members(segment)
-	out := make([]transport.IP, len(ms))
-	for i, a := range ms {
+func (n *Network) SegmentMembers(name string) []transport.IP {
+	n.ensure()
+	seg := n.segments[name]
+	if seg == nil {
+		return nil
+	}
+	out := make([]transport.IP, len(seg.members))
+	for i, a := range seg.members {
 		out[i] = a.ip
 	}
 	return out
@@ -213,30 +362,109 @@ func (n *Network) lost(p LinkProfile) bool {
 	return p.Loss > 0 && n.sched.Rand().Float64() < p.Loss
 }
 
-// deliver schedules the arrival of payload at dst's handler for port.
-func (n *Network) deliver(dst *Adapter, src, to transport.Addr, payload []byte, after time.Duration) {
-	pkt := append([]byte(nil), payload...)
-	n.sched.AfterFunc(after, func() {
-		if !dst.canReceive() {
-			return
+// packetBuf is one pooled copy of a payload in flight. It is shared by
+// every receiver of a transmission; refs counts scheduled deliveries and
+// the buffer returns to the pool when the last one runs.
+type packetBuf struct {
+	b    []byte
+	refs int
+}
+
+// newBuf takes a buffer from the pool and fills it with a private copy of
+// payload — the single copy a transmission pays.
+func (n *Network) newBuf(payload []byte) *packetBuf {
+	var pb *packetBuf
+	if k := len(n.freeBuf); k > 0 {
+		pb = n.freeBuf[k-1]
+		n.freeBuf[k-1] = nil
+		n.freeBuf = n.freeBuf[:k-1]
+	} else {
+		pb = &packetBuf{}
+	}
+	pb.b = append(pb.b[:0], payload...)
+	pb.refs = 0
+	return pb
+}
+
+func (n *Network) releaseBuf(pb *packetBuf) {
+	pb.refs--
+	if pb.refs <= 0 {
+		n.freeBuf = append(n.freeBuf, pb)
+	}
+}
+
+// delivery is one pooled in-flight arrival: the scheduled-event argument
+// carrying who receives which shared buffer.
+type delivery struct {
+	net *Network
+	dst *Adapter
+	src transport.Addr
+	to  transport.Addr
+	buf *packetBuf
+}
+
+// runDelivery is the scheduler callback for every packet arrival. It is a
+// package-level function taking the pooled *delivery as its argument, so
+// scheduling it allocates nothing (no closure).
+func runDelivery(arg any) {
+	d := arg.(*delivery)
+	n, pb := d.net, d.buf
+	if d.dst.canReceive() {
+		if h := d.dst.handler(d.to.Port); h != nil {
+			// The handler may use pb.b only for the duration of this call;
+			// the buffer is recycled as soon as the last receiver ran.
+			h(d.src, d.to, pb.b)
 		}
-		h := dst.bindings[to.Port]
-		if h == nil {
-			return
-		}
-		h(src, to, pkt)
-	})
+	}
+	d.net, d.dst, d.buf = nil, nil, nil
+	n.freeDel = append(n.freeDel, d)
+	n.releaseBuf(pb)
+}
+
+// deliver schedules the arrival of the shared buffer at dst's handler.
+func (n *Network) deliver(dst *Adapter, src, to transport.Addr, pb *packetBuf, after time.Duration) {
+	var d *delivery
+	if k := len(n.freeDel); k > 0 {
+		d = n.freeDel[k-1]
+		n.freeDel[k-1] = nil
+		n.freeDel = n.freeDel[:k-1]
+	} else {
+		d = &delivery{}
+	}
+	d.net, d.dst, d.src, d.to, d.buf = n, dst, src, to, pb
+	pb.refs++
+	n.sched.AfterCall(after, runDelivery, d)
+}
+
+// wellKnownPlanes counts the ports with dedicated handler slots: the five
+// GulfStream protocol planes plus SNMP. Everything else falls back to a
+// lazily allocated map.
+const wellKnownPlanes = 6
+
+func planeIndex(port uint16) int {
+	switch {
+	case port >= transport.PortBeacon && port <= transport.PortJournal:
+		return int(port - transport.PortBeacon)
+	case port == transport.PortSNMP:
+		return wellKnownPlanes - 1
+	default:
+		return -1
+	}
 }
 
 // Adapter is one simulated network interface; it implements
 // transport.Endpoint and transport.Liveness.
 type Adapter struct {
-	net      *Network
-	ip       transport.IP
-	node     string
-	mode     FailureMode
+	net  *Network
+	ip   transport.IP
+	node string
+	mode FailureMode
+	seg  *segment // current bucket; nil while disconnected or cache dirty
+	// planes holds handlers for the well-known ports (hit on every
+	// delivery, so no map lookup); bindings covers the rest.
+	planes   [wellKnownPlanes]transport.Handler
 	bindings map[uint16]transport.Handler
-	groups   map[transport.Addr]bool
+	groups   []transport.Addr // multicast subscriptions; tiny, scanned linearly
 }
 
 var (
@@ -269,27 +497,60 @@ func (a *Adapter) Loopback() bool {
 	if !(a.canSend() && a.canReceive()) {
 		return false
 	}
-	_, connected := a.net.resolver.SegmentOf(a.ip)
-	return connected
+	a.net.ensure()
+	return a.seg != nil
 }
 
 // Bind registers h on port; nil unbinds.
 func (a *Adapter) Bind(port uint16, h transport.Handler) {
+	if i := planeIndex(port); i >= 0 {
+		a.planes[i] = h
+		return
+	}
 	if h == nil {
 		delete(a.bindings, port)
 		return
 	}
+	if a.bindings == nil {
+		a.bindings = make(map[uint16]transport.Handler)
+	}
 	a.bindings[port] = h
+}
+
+// handler returns the handler bound to port, or nil.
+func (a *Adapter) handler(port uint16) transport.Handler {
+	if i := planeIndex(port); i >= 0 {
+		return a.planes[i]
+	}
+	return a.bindings[port]
 }
 
 // JoinGroup subscribes to multicast group traffic on port.
 func (a *Adapter) JoinGroup(group transport.IP, port uint16) {
-	a.groups[transport.Addr{IP: group, Port: port}] = true
+	addr := transport.Addr{IP: group, Port: port}
+	if !a.inGroup(addr) {
+		a.groups = append(a.groups, addr)
+	}
 }
 
 // LeaveGroup removes a multicast subscription.
 func (a *Adapter) LeaveGroup(group transport.IP, port uint16) {
-	delete(a.groups, transport.Addr{IP: group, Port: port})
+	addr := transport.Addr{IP: group, Port: port}
+	for i, g := range a.groups {
+		if g == addr {
+			a.groups = append(a.groups[:i], a.groups[i+1:]...)
+			return
+		}
+	}
+}
+
+func (a *Adapter) inGroup(addr transport.Addr) bool {
+	for _, g := range a.groups {
+		if g == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // ErrAdapterDown is returned from send operations on a dead interface.
@@ -301,67 +562,78 @@ var ErrNoSegment = fmt.Errorf("netsim: adapter not attached to any segment")
 // Unicast sends payload to dst if dst shares the sender's segment.
 // Cross-segment sends vanish silently (there are no routers between
 // GulfStream segments, per the paper's network assumptions); only local
-// conditions produce an error.
+// conditions produce an error. The payload is copied before the call
+// returns; the caller keeps ownership of its buffer.
 func (a *Adapter) Unicast(srcPort uint16, dst transport.Addr, payload []byte) error {
 	if !a.canSend() {
 		return ErrAdapterDown
 	}
-	seg, ok := a.net.resolver.SegmentOf(a.ip)
-	if !ok {
+	n := a.net
+	n.ensure()
+	seg := a.seg
+	if seg == nil {
 		return ErrNoSegment
 	}
 	src := transport.Addr{IP: a.ip, Port: srcPort}
-	tr := Trace{Time: a.net.sched.Now(), Src: a.ip, Dst: dst, Segment: seg, Bytes: len(payload)}
-	target := a.net.adapters[dst.IP]
-	if target != nil {
-		if tseg, tok := a.net.resolver.SegmentOf(dst.IP); tok && tseg == seg {
-			p := a.net.profileFor(seg)
-			if a.net.lost(p) {
-				tr.Dropped = 1
-			} else {
-				tr.Receivers = 1
-				a.net.deliver(target, src, dst, payload, a.net.latency(p))
-			}
+	received, dropped := 0, 0
+	if target := seg.find(dst.IP); target != nil {
+		p := n.effectiveProfile(seg)
+		if n.lost(p) {
+			dropped = 1
+		} else {
+			received = 1
+			n.deliver(target, src, dst, n.newBuf(payload), n.latency(p))
 		}
 	}
-	if a.net.tap != nil {
-		a.net.tap(tr)
+	if n.tap != nil {
+		n.tap(Trace{Time: n.sched.Now(), Src: a.ip, Dst: dst, Segment: seg.name,
+			Bytes: len(payload), Receivers: received, Dropped: dropped})
 	}
 	return nil
 }
 
 // Multicast sends payload to every subscribed adapter on the sender's
-// segment, excluding the sender itself.
+// segment, excluding the sender itself. The payload is copied exactly
+// once per transmission; all receivers share the (immutable) copy.
 func (a *Adapter) Multicast(srcPort uint16, group transport.Addr, payload []byte) error {
 	if !a.canSend() {
 		return ErrAdapterDown
 	}
-	seg, ok := a.net.resolver.SegmentOf(a.ip)
-	if !ok {
+	n := a.net
+	n.ensure()
+	seg := a.seg
+	if seg == nil {
 		return ErrNoSegment
 	}
 	src := transport.Addr{IP: a.ip, Port: srcPort}
-	p := a.net.profileFor(seg)
-	tr := Trace{Time: a.net.sched.Now(), Src: a.ip, Dst: group, Segment: seg, Bytes: len(payload), Multicast: true}
-	for _, m := range a.net.members(seg) {
-		if m == a || !m.groups[group] {
+	p := n.effectiveProfile(seg)
+	received, dropped := 0, 0
+	var pb *packetBuf
+	for _, m := range seg.members {
+		if m == a || !m.inGroup(group) {
 			continue
 		}
-		if a.net.lost(p) {
-			tr.Dropped++
+		if n.lost(p) {
+			dropped++
 			continue
 		}
-		tr.Receivers++
-		a.net.deliver(m, src, group, payload, a.net.latency(p))
+		received++
+		if pb == nil {
+			pb = n.newBuf(payload)
+		}
+		n.deliver(m, src, group, pb, n.latency(p))
 	}
-	if a.net.tap != nil {
-		a.net.tap(tr)
+	if n.tap != nil {
+		n.tap(Trace{Time: n.sched.Now(), Src: a.ip, Dst: group, Segment: seg.name,
+			Bytes: len(payload), Multicast: true, Receivers: received, Dropped: dropped})
 	}
 	return nil
 }
 
 // StaticResolver is a trivial SegmentResolver backed by a map, for tests
-// and single-segment experiments that need no switch fabric.
+// and single-segment experiments that need no switch fabric. It is
+// deliberately not a NotifyingResolver, so it exercises the
+// version-triggered rebuild path.
 type StaticResolver struct {
 	seg     map[transport.IP]string
 	version uint64

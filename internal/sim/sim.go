@@ -3,55 +3,44 @@
 // every daemon, switch and network link schedules its work as events on a
 // single queue, so a run is exactly reproducible given a seed and executes
 // thousands of simulated seconds per wall second.
+//
+// The kernel is allocation-free in the steady state: fired and cancelled
+// events return to a per-scheduler free list (the scheduler is
+// single-threaded, so the list needs no locking), and a generation counter
+// on each event keeps recycled events safe to reference from stale Timer
+// handles. See DESIGN.md §9.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback. Events fire in (time, sequence) order;
+// event is a scheduled callback. Events fire in (time, sequence) order;
 // the sequence number makes simultaneous events deterministic (FIFO).
+//
+// Events are pooled: gen increments every time an event is released back
+// to the free list, so a Timer holding (event, gen) can detect that its
+// event fired or was cancelled and has possibly been reused for an
+// unrelated schedule.
 type event struct {
 	at    time.Duration
 	seq   uint64
+	gen   uint64
+	index int // heap index; -1 when not queued
 	fn    func()
-	index int // heap index; -1 once popped or cancelled
+	fnc   func(any) // arg-style callback; avoids a closure allocation
+	arg   any
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// heapEntry is one queue slot: the event's ordering key (at, seq) copied
+// next to its pointer, so heap comparisons read the contiguous queue
+// array instead of dereferencing scattered events.
+type heapEntry struct {
+	at  time.Duration
+	seq uint64
+	ev  *event
 }
 
 // Scheduler is a single-threaded discrete-event executor with a virtual
@@ -60,7 +49,8 @@ func (q *eventQueue) Pop() any {
 type Scheduler struct {
 	now    time.Duration
 	seq    uint64
-	queue  eventQueue
+	queue  []heapEntry // 4-ary min-heap ordered by (at, seq)
+	free   []*event    // recycled events
 	rng    *rand.Rand
 	fired  uint64
 	halted bool
@@ -85,23 +75,195 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // Pending reports how many events are queued.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
+// --- event pool ---
+
+// alloc takes an event from the free list (or the heap allocator) and
+// stamps it with the fire time and the next sequence number.
+func (s *Scheduler) alloc(d time.Duration) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	if d < 0 {
+		d = 0
+	}
+	ev.at = s.now + d
+	ev.seq = s.seq
+	s.seq++
+	return ev
+}
+
+// release returns a fired or cancelled event to the free list, bumping its
+// generation so stale Timer handles can never touch it again.
+func (s *Scheduler) release(ev *event) {
+	ev.gen++
+	ev.fn, ev.fnc, ev.arg = nil, nil, nil
+	s.free = append(s.free, ev)
+}
+
+// --- intrusive 4-ary heap (concrete types: no interface dispatch) ---
+//
+// 4-ary halves the depth of a binary heap, so pops move half as many
+// entries, and the four children of a node share at most two cache lines.
+
+func (s *Scheduler) push(ev *event) {
+	s.queue = append(s.queue, heapEntry{})
+	s.siftUp(len(s.queue)-1, heapEntry{at: ev.at, seq: ev.seq, ev: ev})
+}
+
+// siftUp places e at or above hole i, moving displaced parents down.
+func (s *Scheduler) siftUp(i int, e heapEntry) {
+	q := s.queue
+	for i > 0 {
+		p := (i - 1) / 4
+		if q[p].at < e.at || (q[p].at == e.at && q[p].seq < e.seq) {
+			break // parent fires first
+		}
+		q[i] = q[p]
+		q[i].ev.index = i
+		i = p
+	}
+	q[i] = e
+	e.ev.index = i
+}
+
+// siftDown places e at or below hole i, pulling earlier children up.
+func (s *Scheduler) siftDown(i int, e heapEntry) {
+	q := s.queue
+	n := len(q)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if q[j].at < q[m].at || (q[j].at == q[m].at && q[j].seq < q[m].seq) {
+				m = j
+			}
+		}
+		if e.at < q[m].at || (e.at == q[m].at && e.seq < q[m].seq) {
+			break // e fires before its earliest child
+		}
+		q[i] = q[m]
+		q[i].ev.index = i
+		i = m
+	}
+	q[i] = e
+	e.ev.index = i
+}
+
+// popMin removes and returns the earliest event.
+func (s *Scheduler) popMin() *event {
+	q := s.queue
+	ev := q[0].ev
+	n := len(q) - 1
+	last := q[n]
+	q[n] = heapEntry{}
+	s.queue = q[:n]
+	if n > 0 {
+		s.siftDown(0, last)
+	}
+	ev.index = -1
+	return ev
+}
+
+// remove deletes a pending event from an arbitrary heap position.
+func (s *Scheduler) remove(ev *event) {
+	i := ev.index
+	q := s.queue
+	n := len(q) - 1
+	last := q[n]
+	q[n] = heapEntry{}
+	s.queue = q[:n]
+	ev.index = -1
+	if i == n {
+		return
+	}
+	s.siftDown(i, last)
+	if last.ev.index == i {
+		s.siftUp(i, last)
+	}
+}
+
+// fix restores heap order after ev's (at, seq) key changed in place.
+func (s *Scheduler) fix(ev *event) {
+	i := ev.index
+	e := heapEntry{at: ev.at, seq: ev.seq, ev: ev}
+	s.siftDown(i, e)
+	if ev.index == i {
+		s.siftUp(i, e)
+	}
+}
+
+// --- timers and scheduling ---
+
 // Timer is a handle to a scheduled event, with the same Stop contract as
-// time.Timer: Stop reports whether the call prevented the event from firing.
+// time.Timer: Stop reports whether the call prevented the event from
+// firing. The handle captures the event's generation, so once the event
+// fires (and is recycled for an unrelated schedule) the handle goes inert
+// instead of cancelling someone else's event.
 type Timer struct {
-	ev *event
-	s  *Scheduler
+	s   *Scheduler
+	ev  *event
+	gen uint64
+	fn  func() // retained so Reset can re-arm after a fire or Stop
+}
+
+// active reports whether the timer still owns a pending event.
+func (t *Timer) active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
 }
 
 // Stop cancels the timer. It returns false if the event already fired or
-// was already stopped.
+// was already stopped; in that case the stale event reference is dropped,
+// so a recycled event can never be resurrected through an old handle.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.index < 0 {
+	if t == nil || t.ev == nil {
 		return false
 	}
-	heap.Remove(&t.s.queue, t.ev.index)
-	t.ev.index = -1
-	t.ev.fn = nil
+	if !t.active() {
+		t.ev = nil
+		return false
+	}
+	ev := t.ev
+	t.ev = nil
+	t.s.remove(ev)
+	t.s.release(ev)
 	return true
+}
+
+// Reset re-arms the timer to fire d from now, reporting whether it was
+// still pending (like time.Timer.Reset). A pending timer keeps its pooled
+// event — the fixed-interval fast path: rescheduling from inside the
+// timer's own callback allocates nothing. A fired or stopped timer is
+// re-armed with its original callback.
+func (t *Timer) Reset(d time.Duration) bool {
+	if t.active() {
+		if d < 0 {
+			d = 0
+		}
+		ev := t.ev
+		ev.at = t.s.now + d
+		ev.seq = t.s.seq
+		t.s.seq++
+		t.s.fix(ev)
+		return true
+	}
+	ev := t.s.alloc(d)
+	ev.fn = t.fn
+	t.s.push(ev)
+	t.ev = ev
+	t.gen = ev.gen
+	return false
 }
 
 // AfterFunc schedules fn to run d from now. Negative d is treated as zero.
@@ -109,13 +271,36 @@ func (s *Scheduler) AfterFunc(d time.Duration, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: AfterFunc with nil function")
 	}
-	if d < 0 {
-		d = 0
+	ev := s.alloc(d)
+	ev.fn = fn
+	s.push(ev)
+	return &Timer{s: s, ev: ev, gen: ev.gen, fn: fn}
+}
+
+// Schedule runs fn once at d from now without a cancellation handle — the
+// allocation-free path for fire-and-forget work (the event comes from and
+// returns to the scheduler's pool, and no Timer is created).
+func (s *Scheduler) Schedule(d time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule with nil function")
 	}
-	ev := &event{at: s.now + d, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev, s: s}
+	ev := s.alloc(d)
+	ev.fn = fn
+	s.push(ev)
+}
+
+// AfterCall schedules fn(arg) at d from now. Passing the argument
+// explicitly rather than closing over it lets hot callers schedule with
+// zero allocations: fn is typically a package-level function and arg a
+// pooled pointer, neither of which needs a heap-allocated closure.
+func (s *Scheduler) AfterCall(d time.Duration, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: AfterCall with nil function")
+	}
+	ev := s.alloc(d)
+	ev.fnc = fn
+	ev.arg = arg
+	s.push(ev)
 }
 
 // At schedules fn at absolute virtual time at. Times in the past run
@@ -130,13 +315,17 @@ func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.queue).(*event)
+	ev := s.popMin()
 	s.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
+	fn, fnc, arg := ev.fn, ev.fnc, ev.arg
+	// Recycle before running: the callback may schedule (reusing this very
+	// event, under a new generation) or Stop its own timer (a no-op now).
+	s.release(ev)
 	s.fired++
 	if fn != nil {
 		fn()
+	} else if fnc != nil {
+		fnc(arg)
 	}
 	return true
 }

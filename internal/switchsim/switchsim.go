@@ -91,7 +91,12 @@ func (s *Switch) SetUp(up bool) {
 		return
 	}
 	s.up = up
-	s.fabric.bump()
+	s.fabric.version++
+	for _, p := range s.ports {
+		if p.Adapter != 0 {
+			s.fabric.changed(p.Adapter)
+		}
+	}
 }
 
 // ManagementIP returns the address of the switch's management adapter
@@ -129,7 +134,7 @@ func (s *Switch) Connect(n int, adapter transport.IP, vlan int) {
 	s.ports[n] = p
 	s.fabric.where[adapter] = location{sw: s, port: n}
 	s.defineMIBPort(p)
-	s.fabric.bump()
+	s.fabric.bump(adapter)
 }
 
 // SetPortVLAN reassigns port n's VLAN (the VLAN-move primitive).
@@ -143,7 +148,7 @@ func (s *Switch) SetPortVLAN(n, vlan int) error {
 	}
 	p.VLAN = vlan
 	_ = s.mib.Update(OIDPortVLAN(n), snmp.Integer(int64(vlan)))
-	s.fabric.bump()
+	s.fabric.bump(p.Adapter)
 	return nil
 }
 
@@ -162,7 +167,7 @@ func (s *Switch) SetPortUp(n int, up bool) error {
 		status = PortUp
 	}
 	_ = s.mib.Update(OIDPortStatus(n), snmp.Integer(int64(status)))
-	s.fabric.bump()
+	s.fabric.bump(p.Adapter)
 	return nil
 }
 
@@ -194,7 +199,7 @@ func (s *Switch) mibSet(oid snmp.OID, v snmp.Value) {
 		if p, ok := s.ports[port]; ok && v.Kind == snmp.KindInteger {
 			if p.VLAN != int(v.Int) {
 				p.VLAN = int(v.Int)
-				s.fabric.bump()
+				s.fabric.bump(p.Adapter)
 			}
 		}
 		return
@@ -205,7 +210,7 @@ func (s *Switch) mibSet(oid snmp.OID, v snmp.Value) {
 			up := v.Int == PortUp
 			if p.Up != up {
 				p.Up = up
-				s.fabric.bump()
+				s.fabric.bump(p.Adapter)
 			}
 		}
 	}
@@ -231,13 +236,17 @@ type location struct {
 }
 
 // Fabric is the collection of switches in the farm. It implements
-// netsim.SegmentResolver: adapters reach each other exactly when both
-// hang off powered switches, live ports, and the same VLAN.
+// netsim.SegmentResolver — adapters reach each other exactly when both
+// hang off powered switches, live ports, and the same VLAN — and
+// netsim.NotifyingResolver, attributing every topology change to the
+// adapter it affects so the network's segment cache updates incrementally.
 type Fabric struct {
 	switches map[string]*Switch
 	names    []string
 	where    map[transport.IP]location
 	version  uint64
+	onIP     func(transport.IP)
+	onBulk   func()
 }
 
 // NewFabric returns an empty fabric.
@@ -249,7 +258,22 @@ func NewFabric() *Fabric {
 	}
 }
 
-func (f *Fabric) bump() { f.version++ }
+// Notify implements netsim.NotifyingResolver.
+func (f *Fabric) Notify(perIP func(transport.IP), bulk func()) {
+	f.onIP, f.onBulk = perIP, bulk
+}
+
+// bump records a topology change attributed to one adapter.
+func (f *Fabric) bump(ip transport.IP) {
+	f.version++
+	f.changed(ip)
+}
+
+func (f *Fabric) changed(ip transport.IP) {
+	if f.onIP != nil && ip != 0 {
+		f.onIP(ip)
+	}
+}
 
 // AddSwitch creates a switch.
 func (f *Fabric) AddSwitch(name string) *Switch {
@@ -264,7 +288,7 @@ func (f *Fabric) AddSwitch(name string) *Switch {
 	f.switches[name] = s
 	f.names = append(f.names, name)
 	sort.Strings(f.names)
-	f.bump()
+	f.version++ // a fresh switch has no wired adapters: nothing to re-resolve
 	return s
 }
 

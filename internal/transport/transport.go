@@ -67,10 +67,16 @@ const (
 // BeaconGroup is the well-known multicast group BEACONs are sent to.
 var BeaconGroup = MakeIP(224, 0, 0, 71)
 
-// Timer mirrors time.Timer's Stop contract.
+// Timer mirrors time.Timer's Stop/Reset contract.
 type Timer interface {
 	// Stop cancels the timer, reporting whether it prevented the fire.
 	Stop() bool
+	// Reset re-arms the timer to fire d from now with its original
+	// callback, reporting whether it was still pending. Resetting from
+	// inside the timer's own callback is the cheap way to run a
+	// fixed-interval loop: it reuses the timer instead of allocating a
+	// fresh one every period.
+	Reset(d time.Duration) bool
 }
 
 // Clock abstracts time for protocol code. Now is an offset from an
@@ -82,6 +88,10 @@ type Clock interface {
 
 // Handler receives packets delivered to a bound port. src is the sending
 // adapter's address; dst distinguishes unicast from multicast delivery.
+// The payload is only valid for the duration of the call: transports may
+// reuse the buffer (and share it between the receivers of one multicast),
+// so a handler that needs the bytes afterwards must copy them. wire.Decode
+// already copies everything it keeps.
 type Handler func(src, dst Addr, payload []byte)
 
 // Endpoint is one network adapter's view of the transport: it can send
@@ -91,6 +101,8 @@ type Endpoint interface {
 	LocalIP() IP
 	// Unicast sends payload from srcPort to dst. Delivery is best-effort;
 	// an error reports only local conditions (adapter down, not bound).
+	// The transport does not retain payload after the call returns, so
+	// callers may reuse (or pool) their encode buffers immediately.
 	Unicast(srcPort uint16, dst Addr, payload []byte) error
 	// Multicast sends payload from srcPort to every adapter on the local
 	// network segment that has joined group, excluding the sender.

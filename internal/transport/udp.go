@@ -75,6 +75,16 @@ func (t *udpTimer) Stop() bool {
 	return t.t.Stop()
 }
 
+// Reset implements Timer by re-arming the underlying time.Timer.
+func (t *udpTimer) Reset(d time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	was := !t.stopped && t.t.Stop()
+	t.stopped = false
+	t.t.Reset(d)
+	return was
+}
+
 // Post enqueues fn onto the event loop, serialized with all socket and
 // timer callbacks — the only safe way for outside goroutines to touch
 // event-driven components (daemons, Central) owned by this runtime.

@@ -11,8 +11,15 @@ type enc struct {
 	buf []byte
 }
 
-func (e *enc) u8(v byte)   { e.buf = append(e.buf, v) }
-func (e *enc) bool(v bool) { e.u8(map[bool]byte{false: 0, true: 1}[v]) }
+func (e *enc) u8(v byte) { e.buf = append(e.buf, v) }
+
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
 
 func (e *enc) u16(v uint16) { e.buf = append(e.buf, byte(v>>8), byte(v)) }
 
@@ -61,12 +68,20 @@ func (e *enc) ips(ips []transport.IP) {
 	}
 }
 
-// dec is a sticky-error binary reader.
+// dec is a sticky-error binary reader. The intern table, when present,
+// deduplicates decoded strings across packets: node names repeat in every
+// beacon and membership list, and returning the shared copy keeps the
+// hot receive paths allocation-free.
 type dec struct {
-	buf []byte
-	pos int
-	err error
+	buf    []byte
+	pos    int
+	err    error
+	intern map[string]string
 }
+
+// internCap bounds the intern table; node names and disable reasons are
+// the only strings on the wire, so hitting this means garbage input.
+const internCap = 1 << 12
 
 func (d *dec) fail(what string) {
 	if d.err == nil {
@@ -132,9 +147,25 @@ func (d *dec) str() string {
 		d.fail("string body")
 		return ""
 	}
-	s := string(d.buf[d.pos : d.pos+n])
+	b := d.buf[d.pos : d.pos+n]
 	d.pos += n
-	return s
+	return d.internBytes(b)
+}
+
+// internBytes converts b to a string, returning the shared interned copy
+// when one exists (the map lookup converts without allocating).
+func (d *dec) internBytes(b []byte) string {
+	if d.intern != nil {
+		if s, ok := d.intern[string(b)]; ok {
+			return s
+		}
+		if len(d.intern) < internCap {
+			s := string(b)
+			d.intern[s] = s
+			return s
+		}
+	}
+	return string(b)
 }
 
 func (d *dec) member() Member {

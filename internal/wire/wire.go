@@ -7,6 +7,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/transport"
 )
@@ -522,11 +523,73 @@ func newByType(t Type) Message {
 
 // Encode serializes a message, prefixed with version and type bytes.
 func Encode(m Message) []byte {
-	e := &enc{buf: make([]byte, 0, 64)}
-	e.u8(codecVersion)
-	e.u8(byte(m.Type()))
+	return AppendEncode(make([]byte, 0, 64), m)
+}
+
+// encPool recycles encoder state so the append-style API allocates
+// nothing beyond what dst itself needs.
+var encPool = sync.Pool{New: func() any { return new(enc) }}
+
+// AppendEncode appends m's wire encoding to dst and returns the extended
+// slice. With a dst of sufficient capacity the call performs zero
+// allocations.
+func AppendEncode(dst []byte, m Message) []byte {
+	e := encPool.Get().(*enc)
+	e.buf = append(dst, codecVersion, byte(m.Type()))
 	m.marshal(e)
-	return e.buf
+	out := e.buf
+	e.buf = nil
+	encPool.Put(e)
+	return out
+}
+
+// Packet is a pooled encode buffer — the zero-allocation send path for
+// the hot planes (beacons, heartbeats, 2PC). The bytes stay valid until
+// Free. The intended shape, leaning on the transport contract that sends
+// do not retain the payload (see transport.Endpoint):
+//
+//	pkt := wire.NewPacket(m)
+//	_ = ep.Unicast(port, dst, pkt.Bytes())
+//	pkt.Free()
+type Packet struct {
+	e enc
+}
+
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket encodes m into a pooled buffer. Callers must Free the packet
+// once the send (or fan-out of sends) sharing its bytes has returned.
+func NewPacket(m Message) *Packet {
+	p := packetPool.Get().(*Packet)
+	p.e.buf = append(p.e.buf[:0], codecVersion, byte(m.Type()))
+	m.marshal(&p.e)
+	return p
+}
+
+// Bytes returns the encoded packet, valid until Free.
+func (p *Packet) Bytes() []byte { return p.e.buf }
+
+// Free returns the packet to the pool. The slice returned by Bytes must
+// not be used afterwards.
+func (p *Packet) Free() { packetPool.Put(p) }
+
+// decPool recycles decoder state. Each pooled decoder keeps its string
+// intern table across packets, so node names — the only strings on the
+// hot planes — decode to shared copies instead of fresh allocations.
+var decPool = sync.Pool{New: func() any { return &dec{intern: make(map[string]string)} }}
+
+// decodeBody unmarshals pkt's body into m using a pooled decoder.
+func decodeBody(pkt []byte, m Message) error {
+	d := decPool.Get().(*dec)
+	d.buf, d.pos, d.err = pkt, 2, nil
+	m.unmarshal(d)
+	err := d.err
+	if err == nil && d.pos != len(pkt) {
+		err = ErrTrailing
+	}
+	d.buf = nil
+	decPool.Put(d)
+	return err
 }
 
 // Decode parses one packet. All trailing garbage is rejected.
@@ -537,18 +600,88 @@ func Decode(pkt []byte) (Message, error) {
 	if pkt[0] != codecVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, pkt[0])
 	}
-	t := Type(pkt[1])
-	m := newByType(t)
+	m := newByType(Type(pkt[1]))
 	if m == nil {
 		return nil, fmt.Errorf("%w: %d", ErrBadType, pkt[1])
 	}
-	d := &dec{buf: pkt, pos: 2}
-	m.unmarshal(d)
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.pos != len(pkt) {
-		return nil, ErrTrailing
+	if err := decodeBody(pkt, m); err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// Peek returns a packet's message type without decoding its body, so a
+// receiver can route the common case to DecodeInto with a reused message.
+func Peek(pkt []byte) (Type, bool) {
+	if len(pkt) < 2 || pkt[0] != codecVersion {
+		return 0, false
+	}
+	t := Type(pkt[1])
+	if t == 0 || t >= tMax {
+		return 0, false
+	}
+	return t, true
+}
+
+// DecodeInto parses pkt into the caller's message, which must match the
+// packet's wire type. Unlike Decode it allocates nothing for fixed-size
+// messages, so hot receive paths (beacons, heartbeats) can decode into a
+// long-lived scratch value. On error the message contents are undefined.
+func DecodeInto(pkt []byte, m Message) error {
+	if len(pkt) < 2 {
+		return ErrShort
+	}
+	if pkt[0] != codecVersion {
+		return fmt.Errorf("%w: %d", ErrBadVersion, pkt[0])
+	}
+	if Type(pkt[1]) != m.Type() {
+		return fmt.Errorf("%w: got %d, want %v", ErrBadType, pkt[1], m.Type())
+	}
+	if b, ok := m.(*Beacon); ok {
+		return decodeBeacon(pkt, b)
+	}
+	return decodeBody(pkt, m)
+}
+
+// beaconFixed is the byte count of a beacon packet around its node name:
+// header (2) + sender (4) + name length (2) + incarnation (4) +
+// leader (4) + version (8) + members (4) + admin (1).
+const beaconFixed = 29
+
+// decodeBeacon is the unrolled decoder for the highest-rate message on
+// the wire: during discovery every adapter hears every segment-mate's
+// beacon each interval, so this path does one length check and straight
+// loads instead of seven sticky-error field reads through the generic
+// decoder. The pooled decoder is still borrowed for its intern table.
+func decodeBeacon(pkt []byte, b *Beacon) error {
+	if len(pkt) < beaconFixed {
+		return ErrShort
+	}
+	n := int(pkt[6])<<8 | int(pkt[7])
+	if len(pkt) != beaconFixed+n {
+		if len(pkt) < beaconFixed+n {
+			return ErrShort
+		}
+		return ErrTrailing
+	}
+	b.Sender = transport.IP(be32(pkt[2:]))
+	d := decPool.Get().(*dec)
+	b.Node = d.internBytes(pkt[8 : 8+n])
+	decPool.Put(d)
+	p := 8 + n
+	b.Incarnation = be32(pkt[p:])
+	b.Leader = transport.IP(be32(pkt[p+4:]))
+	b.Version = be64(pkt[p+8:])
+	b.Members = be32(pkt[p+16:])
+	b.Admin = pkt[p+20] != 0
+	return nil
+}
+
+func be32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func be64(b []byte) uint64 {
+	return uint64(be32(b))<<32 | uint64(be32(b[4:]))
 }
