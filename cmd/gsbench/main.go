@@ -4,11 +4,17 @@
 // Usage:
 //
 //	gsbench [-quick] [experiment ...]
+//	gsbench chaos [-seeds N] [-from N] [-rounds N] [-parallel N]
+//	              [-partition] [-failover] [-seed-bug] [-no-shrink] [-o dir]
 //
 // With no arguments it runs everything. Experiments: fig5, formula1,
 // beaconloss, detector, hbload, failover, move, merge, centralload,
 // verify, tb0, journal, phases, trace, scale. -quick runs scaled-down
 // variants (seconds instead of minutes).
+//
+// The chaos subcommand sweeps seed-derived fault schedules with the
+// protocol-invariant engine attached, shrinks any failing schedule to a
+// minimal reproduction, and exits nonzero if any seed fails.
 package main
 
 import (
@@ -143,7 +149,43 @@ func runners() []runner {
 	}
 }
 
+// chaosMain is the `gsbench chaos` subcommand: the E15 seed sweep with
+// its own flag set (invoked before the experiment-runner flags parse).
+func chaosMain(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	o := exp.DefaultChaos()
+	fs.IntVar(&o.Seeds, "seeds", o.Seeds, "number of seeds to sweep")
+	fs.Int64Var(&o.From, "from", o.From, "first seed")
+	fs.IntVar(&o.Rounds, "rounds", o.Rounds, "fault injections per schedule")
+	fs.IntVar(&o.Parallel, "parallel", 0, "concurrent simulations (0 = NumCPU)")
+	fs.BoolVar(&o.Partition, "partition", false, "enable segment partition/drop faults")
+	fs.BoolVar(&o.Failover, "failover", false, "enable active-Central failover faults")
+	fs.BoolVar(&o.SeedBug, "seed-bug", false, "plant UnsafeSkipVerify to prove the harness catches it")
+	settle := fs.Duration("settle", 0, "override post-fault settle window")
+	noShrink := fs.Bool("no-shrink", false, "skip shrinking failing schedules")
+	fs.StringVar(&o.ArtifactDir, "o", "chaos-artifacts", "directory for reproduction artifacts")
+	_ = fs.Parse(args)
+	o.Settle = *settle
+	o.Shrink = !*noShrink
+
+	start := time.Now()
+	tab, failing, err := exp.Chaos(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbench: chaos: %v\n", err)
+		os.Exit(1)
+	}
+	tab.Fprint(os.Stdout)
+	fmt.Printf("(chaos wall time: %.1fs)\n", time.Since(start).Seconds())
+	if failing > 0 {
+		os.Exit(1)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		chaosMain(os.Args[2:])
+		return
+	}
 	quick := flag.Bool("quick", false, "run scaled-down variants")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Usage = func() {

@@ -171,7 +171,23 @@ func (c *Central) Activate(admin transport.Endpoint) {
 	// from nothing.
 	restored := c.jr != nil && c.jr.Loaded() && c.installRestored()
 	if !restored {
+		// Cold start: whatever this Central held under a previous regime
+		// — groups, adapter liveness, correlated node/switch deaths — no
+		// longer describes its (empty) view. The correlation maps must be
+		// dropped along with the groups: a node marked dead by a prior
+		// activation would otherwise survive in memory with no journal
+		// record backing it, and the resync rebuilds all of it anyway.
 		c.groups = make(map[transport.IP]*group)
+		c.adapters = make(map[transport.IP]*adapterInfo)
+		c.nodesSeen = make(map[string]map[transport.IP]bool)
+		c.nodeDead = make(map[string]bool)
+		c.switchDead = make(map[string]bool)
+		c.expectedMoves = make(map[transport.IP]time.Duration)
+		if c.jr != nil {
+			// The journal fold is stale for the same reason, and left in
+			// place it would leak into the next standby snapshot.
+			c.jr.Reset()
+		}
 	}
 	det := "cold"
 	if restored {

@@ -1,6 +1,7 @@
 package central
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/journal"
@@ -343,4 +344,46 @@ func (c *Central) HandleJournal(ep transport.Endpoint, src transport.Addr, msg w
 		}
 		c.handleJournalAck(m)
 	}
+}
+
+// JournalDrift compares the journal's incrementally folded state against
+// the live Central state and describes the first divergence found ("" when
+// consistent, or when this instance is not an active journaling Central).
+// The invariant it serves: replaying the journal must reconstruct exactly
+// the state the active Central is operating on — the journal is a prefix
+// of (here: equal to, since appends are synchronous) the live view. The
+// simulation-testing harness calls it from a trace sink at every applied
+// report and at quiescence.
+func (c *Central) JournalDrift() string {
+	if !c.journaling() {
+		return ""
+	}
+	st := c.jr.State()
+	if len(st.Groups) != len(c.groups) {
+		return fmt.Sprintf("journal folds %d groups, live tracks %d", len(st.Groups), len(c.groups))
+	}
+	for leader, g := range c.groups {
+		jg := st.Groups[leader]
+		if jg == nil {
+			return fmt.Sprintf("live group %v missing from journal fold", leader)
+		}
+		if jg.Version != g.version {
+			return fmt.Sprintf("group %v: journal v%d, live v%d", leader, jg.Version, g.version)
+		}
+		if len(jg.Members) != len(g.members) {
+			return fmt.Sprintf("group %v: journal folds %d members, live has %d",
+				leader, len(jg.Members), len(g.members))
+		}
+		for _, m := range jg.Members {
+			if _, ok := g.members[m.IP]; !ok {
+				return fmt.Sprintf("group %v: journaled member %v not in live group", leader, m.IP)
+			}
+		}
+	}
+	for node, dead := range c.nodeDead {
+		if dead != st.DeadNodes[node] {
+			return fmt.Sprintf("node %s: journal dead=%v, live dead=%v", node, st.DeadNodes[node], dead)
+		}
+	}
+	return ""
 }

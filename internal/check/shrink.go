@@ -1,0 +1,75 @@
+package check
+
+import "time"
+
+// minSettle is the floor the shrinker won't reduce Settle below — a
+// schedule needs some quiet tail for the violation to be about the
+// faults, not about cutting the run off mid-protocol.
+const minSettle = 15 * time.Second
+
+// Shrink reduces a failing schedule to a (locally) minimal one that
+// still fails, using delta debugging (ddmin) over the op list followed
+// by settle-halving. fails must re-run the schedule from scratch and
+// report whether the invariant violation reproduces; it is called at
+// most maxRuns times (each call is a full simulation). The input
+// schedule is assumed to fail and is returned unchanged if nothing
+// smaller reproduces within the budget.
+func Shrink(s Schedule, fails func(Schedule) bool, maxRuns int) (Schedule, int) {
+	runs := 0
+	try := func(c Schedule) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		return fails(c)
+	}
+
+	best := s
+	sortOps(best.Ops)
+
+	// ddmin: repeatedly try dropping chunks of the schedule, refining
+	// granularity when no chunk can go.
+	n := 2
+	for len(best.Ops) >= 2 && runs < maxRuns {
+		if n > len(best.Ops) {
+			n = len(best.Ops)
+		}
+		chunk := (len(best.Ops) + n - 1) / n
+		reduced := false
+		for i := 0; i < len(best.Ops) && runs < maxRuns; i += chunk {
+			end := i + chunk
+			if end > len(best.Ops) {
+				end = len(best.Ops)
+			}
+			rest := make([]Op, 0, len(best.Ops)-(end-i))
+			rest = append(rest, best.Ops[:i]...)
+			rest = append(rest, best.Ops[end:]...)
+			cand := Schedule{Seed: best.Seed, Ops: rest, Settle: best.Settle}
+			if try(cand) {
+				best = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(best.Ops) {
+				break
+			}
+			n *= 2
+		}
+	}
+
+	// Shorten the quiet tail while the violation still reproduces.
+	for best.Settle/2 >= minSettle && runs < maxRuns {
+		cand := best
+		cand.Settle = best.Settle / 2
+		if !try(cand) {
+			break
+		}
+		best = cand
+	}
+	return best, runs
+}

@@ -73,6 +73,14 @@ type Config struct {
 	// AdminIndex is which adapter is the administrative one (paper: "by
 	// convention, adapter 0").
 	AdminIndex uint8
+
+	// UnsafeSkipVerify makes a leader act on the first suspicion without
+	// the paper's verification probe — the §3 false-report flaw
+	// reintroduced on purpose. It exists ONLY as fault injection for the
+	// simulation-testing harness (internal/check), which must catch the
+	// resulting unverified evictions mid-run; it is never set in
+	// production configurations.
+	UnsafeSkipVerify bool
 }
 
 // DefaultConfig returns the parameters of the prototype deployment.

@@ -83,6 +83,15 @@ type adapterProto struct {
 	view     amg.Membership
 	pending  *pendingView
 	detector detect.Detector
+	// ledFloor is the highest view version this adapter has ever
+	// committed as leader of its own lineage. An adapter that demotes
+	// (absorbed by a merge) and later re-promotes (leader takeover)
+	// derives its next version from the absorbing group's counter, which
+	// may sit below numbers its own lineage already used — and reusing
+	// (self, version) for a different membership makes stale messages
+	// from the abandoned incarnation indistinguishable from current ones.
+	// Every own-lineage version must exceed this floor.
+	ledFloor uint64
 
 	// liveness of the group as seen from here
 	lastGroupActivity time.Duration
@@ -749,11 +758,17 @@ func (p *adapterProto) onAbort(m *wire.Abort) {
 	}
 }
 
-// commitView finalizes a membership view locally (both roles).
+// commitView finalizes a membership view locally (both roles). The view
+// is installed before the KViewCommit record is captured so that trace
+// sinks (the invariant engine in internal/check) observe the committed
+// state when the record reaches them.
 func (p *adapterProto) commitView(v amg.Membership) {
+	p.view = v
+	if v.Leader() == p.self && v.Version > p.ledFloor {
+		p.ledFloor = v.Version
+	}
 	p.trace(&trace.Record{Kind: trace.KViewCommit, Group: v.Leader(),
 		Version: v.Version, Count: uint32(v.Size())})
-	p.view = v
 	p.lastGroupActivity = p.now()
 	p.firstSuspicionAt = 0 // a commit proves the leadership is working
 	if p.detector != nil {
@@ -948,7 +963,10 @@ func (p *adapterProto) escalateSuspicion() {
 	p.escalating = true
 	leader := p.view.Leader()
 	p.verifySuspect(leader, func(res probeResult) {
-		if p.state != stMember || p.view.Leader() != leader {
+		// firstSuspicionAt == 0 means a commit landed while the probe was
+		// in flight: leadership is demonstrably working, the verdict is
+		// stale. Acting on it would orphan a freshly healed member.
+		if p.state != stMember || p.view.Leader() != leader || p.firstSuspicionAt == 0 {
 			p.escalating = false
 			return
 		}
@@ -981,7 +999,11 @@ func (p *adapterProto) escalateSuspicion() {
 		})
 		p.verifySuspect(succ, func(res2 probeResult) {
 			p.escalating = false
-			if p.state != stMember {
+			// Same staleness guards as above: a commit during the probe (or
+			// a leader change) supersedes whatever this verdict says. The
+			// original code checked only the state and would orphan a member
+			// that had just been healed by a takeover or refresh commit.
+			if p.state != stMember || p.view.Leader() != leader || p.firstSuspicionAt == 0 {
 				return
 			}
 			switch {
@@ -1011,9 +1033,13 @@ func (p *adapterProto) isolationOrphan() {
 	if p.d.hooks.Orphaned != nil {
 		p.d.hooks.Orphaned(p.self)
 	}
-	// The new version jumps beyond anything the old group used, so stale
-	// messages cannot confuse a later rejoin.
+	// The new version jumps beyond anything the old group used — or
+	// anything this adapter's own earlier lineage used, if that counter
+	// ran higher — so stale messages cannot confuse a later rejoin.
 	oldVersion := p.view.Version
+	if p.ledFloor > oldVersion {
+		oldVersion = p.ledFloor
+	}
 	if p.lead != nil {
 		p.d.reporter.dropLeader(p.self)
 	}

@@ -213,8 +213,16 @@ func (l *leaderState) startChange(op wire.Op, target amg.Membership) {
 		}
 		return
 	}
-	if target.Version <= p.view.Version {
-		target.Version = p.view.Version + 1
+	floor := p.view.Version
+	if p.ledFloor > floor {
+		// Re-promoted after an absorption: the current view's counter
+		// (inherited from the absorbing group) sits below versions this
+		// adapter's own lineage already committed. Reusing one would give
+		// two different memberships the same (leader, version) identity.
+		floor = p.ledFloor
+	}
+	if target.Version <= floor {
+		target.Version = floor + 1
 	}
 	r := &twoPCRound{l: l, op: op, target: target, token: p.d.token(), waiting: make(map[transport.IP]bool)}
 	l.round = r
@@ -317,6 +325,17 @@ func (r *twoPCRound) timeout() {
 // retarget restarts the round against a reduced membership. Versions keep
 // the original target's number (it was never committed); the rounds are
 // bounded because the set shrinks toward the singleton.
+//
+// Each retarget draws a FRESH token. Reusing the old one opens a
+// divergence race the invariant engine caught immediately: member M acks
+// Prepare(target1, tok); the ack is still in flight when another member's
+// rejection triggers a retarget; the re-sent Prepare(target2, tok) to M
+// is lost or reordered behind the Commit; M's stale ack then satisfies
+// the new round's waiting set (acks matched by token alone), the leader
+// commits target2, and M — whose pending view is still target1 under the
+// same token — installs target1. Two adapters end up committed to the
+// same (leader, version) incarnation with different memberships. A fresh
+// token makes stale acks and stale pending views unmatchable.
 func (r *twoPCRound) retarget(target amg.Membership) {
 	p := r.l.p
 	if r.timer != nil {
@@ -336,6 +355,7 @@ func (r *twoPCRound) retarget(target amg.Membership) {
 		return
 	}
 	target.Version = r.target.Version
+	r.token = p.d.token()
 	p.trace(&trace.Record{Kind: trace.KRetarget, Group: p.self,
 		Version: target.Version, Token: r.token, Count: uint32(len(target.Members))})
 	r.target = target
@@ -416,6 +436,13 @@ func (l *leaderState) onSuspicion(m *wire.Suspect) {
 	}
 	if _, pending := l.dirtyRemoves[m.Suspect]; pending {
 		return // removal already scheduled
+	}
+	if p.d.cfg.UnsafeSkipVerify {
+		// Fault injection for the simulation-testing harness: believe the
+		// report outright, skipping the verification probe the paper
+		// demands. The invariant engine must flag the resulting commit.
+		l.queueRemove(m.Suspect)
+		return
 	}
 	s := l.suspicions[m.Suspect]
 	if s == nil {

@@ -1,0 +1,160 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Back-to-back evictions: two ring-adjacent members die inside the same
+// heartbeat interval. In the unidirectional ring the second victim's only
+// monitor IS the first victim, so it cannot be detected at all until the
+// first eviction commits and the survivor's monitor re-targets onto it —
+// the cascade the paper's §3 ring heal depends on. This table test pins
+// that re-targeting: who may report before the first eviction, who must
+// report after it, that the re-targeted monitor grants a fresh grace
+// window (no insta-suspicion from silence it never observed), and that
+// the ring is quiet once both are evicted.
+func TestAdjacentDeathsCascadeAcrossEvictions(t *testing.T) {
+	// Members descending: 9 8 7 6 5 4 3 2 1. Monitor(x) = RightOf(x), so
+	// 4 monitors 5, 5 monitors 6: killing 5 and 6 leaves 6 unwatched.
+	first, second := ip(5), ip(6)
+	cases := []struct {
+		kind Kind
+		// reporters of `second` before the first eviction. Uni: nobody
+		// (its monitor died with it). Bi: its other neighbor ip(7).
+		preSecond []transport.IP
+		// reporters of `second` after the first eviction re-targets the
+		// ring. ip(4) is the newly assigned monitor in both modes; in the
+		// bidirectional ring ip(7) keeps re-raising too.
+		postSecond []transport.IP
+	}{
+		{Ring, nil, []transport.IP{ip(4)}},
+		{BiRing, []transport.IP{ip(7)}, []transport.IP{ip(4), ip(7)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			n := newFakeNet(21)
+			p := fastParams() // interval 100ms, miss 3 => 300ms window
+			window := time.Duration(p.MissThreshold) * p.Interval
+			view := buildGroup(n, tc.kind, p, 9)
+			runFor(n, 2*time.Second)
+
+			n.nodes[first].alive = false
+			n.nodes[second].alive = false
+			runFor(n, 5*time.Second)
+
+			reporters := func(victim transport.IP) map[transport.IP][]suspicion {
+				out := map[transport.IP][]suspicion{}
+				for a, fn := range n.nodes {
+					for _, s := range fn.suspects {
+						if s.suspect == victim {
+							out[a] = append(out[a], s)
+						}
+					}
+				}
+				return out
+			}
+
+			if got := reporters(first); len(got) == 0 {
+				t.Fatalf("first victim %v never suspected", first)
+			}
+			got := reporters(second)
+			if len(got) != len(tc.preSecond) {
+				t.Fatalf("pre-eviction reporters of %v = %v, want %v", second, got, tc.preSecond)
+			}
+			for _, want := range tc.preSecond {
+				if len(got[want]) == 0 {
+					t.Fatalf("pre-eviction: %v did not report %v (got %v)", want, second, got)
+				}
+			}
+
+			// The leader evicts the first victim; every survivor installs
+			// the new view and the ring re-targets around the hole.
+			for _, fn := range n.nodes {
+				fn.suspects = nil
+			}
+			view = view.Without(first)
+			n.reconfigureAll(view)
+			retargeted := n.sched.Now()
+			runFor(n, 5*time.Second)
+
+			got = reporters(second)
+			if len(got) != len(tc.postSecond) {
+				t.Fatalf("post-eviction reporters of %v = %v, want %v", second, got, tc.postSecond)
+			}
+			for _, want := range tc.postSecond {
+				if len(got[want]) == 0 {
+					t.Fatalf("post-eviction: %v did not report %v (got %v)", want, second, got)
+				}
+			}
+			// The re-targeted monitor never heard from its new left
+			// neighbor, but its silence clock must start at the
+			// reconfigure — a fresh grace window, not an instant verdict
+			// from silence it never observed.
+			if first := got[ip(4)][0].at; first < retargeted+window {
+				t.Fatalf("re-targeted monitor reported after %v, inside the fresh %v grace window",
+					first-retargeted, window)
+			}
+			// No survivor may be caught in the crossfire.
+			for a, fn := range n.nodes {
+				for _, s := range fn.suspects {
+					if s.suspect != second {
+						t.Fatalf("%v suspected live member %v during the cascade", a, s.suspect)
+					}
+				}
+			}
+
+			// Second eviction closes the hole; the ring must go quiet.
+			for _, fn := range n.nodes {
+				fn.suspects = nil
+			}
+			n.reconfigureAll(view.Without(second))
+			runFor(n, 10*time.Second)
+			if s := n.allSuspicions(); len(s) != 0 {
+				t.Fatalf("suspicions after both evictions: %v", s)
+			}
+		})
+	}
+}
+
+// A reconfiguration that keeps a monitor's neighbor assignment must NOT
+// restart that neighbor's silence clock: evidence of an in-progress
+// failure survives unrelated view changes, so detection latency doesn't
+// stretch when other members come and go mid-silence.
+func TestReconfigurePreservesSilenceClockForKeptNeighbor(t *testing.T) {
+	n := newFakeNet(22)
+	p := fastParams()
+	window := time.Duration(p.MissThreshold) * p.Interval
+	view := buildGroup(n, Ring, p, 9)
+	runFor(n, 2*time.Second)
+
+	// ip(4) monitors ip(5). Kill ip(5), let part of the window elapse,
+	// then commit an unrelated eviction (ip(8)) that changes the view but
+	// keeps ip(4)'s left neighbor.
+	victim := ip(5)
+	n.nodes[victim].alive = false
+	killedAt := n.sched.Now()
+	runFor(n, window/2)
+	n.nodes[ip(8)].alive = false // silence it so it doesn't linger half-configured
+	n.reconfigureAll(view.Without(ip(8)))
+	runFor(n, 5*time.Second)
+
+	var first time.Duration
+	for _, s := range n.nodes[ip(4)].suspects {
+		if s.suspect == victim {
+			first = s.at
+			break
+		}
+	}
+	if first == 0 {
+		t.Fatalf("kept neighbor %v never reported; got %v", victim, n.nodes[ip(4)].suspects)
+	}
+	// Had the reconfigure reset the clock, the earliest report would be
+	// window/2 later than this bound.
+	if first > killedAt+window+3*p.Interval {
+		t.Fatalf("report at %v after death — the silence clock restarted on reconfigure",
+			first-killedAt)
+	}
+}

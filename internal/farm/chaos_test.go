@@ -5,17 +5,18 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/event"
-	"repro/internal/netsim"
 )
 
-// Chaos test: a farm is subjected to a long random schedule of node
-// kills, restarts, adapter failures of every mode, switch outages, and
-// Central-initiated domain moves — then left alone. Afterwards the whole
-// system must converge: every live adapter in exactly one group per
-// segment, Central's view matching the daemons' views, verification
-// clean, and no failure events for adapters that were healthy the whole
-// time.
+// Chaos test: a farm is subjected to a long seed-derived schedule of
+// node kills, restarts, adapter failures of every mode, switch outages,
+// and Central-initiated domain moves — with the protocol-invariant
+// engine watching every trace record as the run unfolds — then left
+// alone. Afterwards the whole system must converge (one view per
+// segment, Central matching the daemons, verification clean), no
+// invariant may have fired mid-run, and never-disturbed nodes must have
+// no unsuppressed failure events.
 func TestChaosConvergence(t *testing.T) {
 	for _, seed := range []int64{101, 202, 303, 404, 505} {
 		seed := seed
@@ -25,7 +26,10 @@ func TestChaosConvergence(t *testing.T) {
 	}
 }
 
-func chaosRun(t *testing.T, seed int64) {
+// chaosSpec is the farm shape every chaos run uses: two domains over
+// seven-node switches, three management nodes, aggressive protocol
+// timers, flight recorder and journal on.
+func chaosSpec(seed int64) Spec {
 	spec := fastSpec(seed)
 	spec.AdminNodes = 3
 	spec.Domains = []DomainSpec{
@@ -34,146 +38,107 @@ func chaosRun(t *testing.T, seed int64) {
 	}
 	spec.NodesPerSwitch = 7
 	spec.Core.EscalationPatience = 3 * time.Second
-	f, err := Build(spec)
+	spec.Trace = true
+	spec.Journal = true
+	return spec
+}
+
+func chaosRun(t *testing.T, seed int64) {
+	f, err := Build(chaosSpec(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
+	engine := check.NewEngine(f)
+	engine.Attach(f.Trace)
 	f.Start()
 	if _, ok := f.RunUntilStable(2 * time.Minute); !ok {
 		t.Fatal("initial stabilization failed")
 	}
-	rng := f.Sched.Rand()
 
-	// Track which nodes were ever disturbed; untouched ones must never be
-	// the subject of an (unsuppressed) failure event.
-	disturbed := map[string]bool{}
-	// Nodes that can be chaos targets (not management, to keep Central's
-	// segment quorate enough for the run to stay observable).
-	var targets []string
-	for _, name := range f.order {
-		if f.Nodes[name].Role != "admin" {
-			targets = append(targets, name)
-		}
-	}
-	down := map[string]bool{}
+	topo := f.CheckTopology()
+	sched := check.Generate(seed, topo, check.GenOpts{})
+	sched.Run(f)
 
-	const rounds = 25
-	for i := 0; i < rounds; i++ {
-		name := targets[rng.Intn(len(targets))]
-		switch rng.Intn(5) {
-		case 0: // kill
-			if !down[name] {
-				disturbed[name] = true
-				down[name] = true
-				if err := f.KillNode(name); err != nil {
-					t.Fatal(err)
-				}
-			}
-		case 1: // restart
-			if down[name] {
-				down[name] = false
-				if err := f.RestartNode(name); err != nil {
-					t.Fatal(err)
-				}
-			}
-		case 2: // adapter failure mode roulette
-			if !down[name] {
-				disturbed[name] = true
-				info := f.Nodes[name]
-				ip := info.Adapters[rng.Intn(len(info.Adapters))]
-				modes := []netsim.FailureMode{netsim.FailStop, netsim.FailRecv, netsim.FailSend}
-				_ = f.FailAdapter(ip, modes[rng.Intn(len(modes))])
-				// Heal it a bit later so the run can converge.
-				f.Sched.AfterFunc(10*time.Second, func() { _ = f.FailAdapter(ip, netsim.Healthy) })
-			}
-		case 3: // domain move via Central
-			info := f.Nodes[name]
-			if !down[name] && (info.Role == "frontend" || info.Role == "backend") {
-				disturbed[name] = true
-				to := "acme"
-				if info.Domain == "acme" {
-					to = "globex"
-				}
-				_ = f.MoveNodeToDomain(name, to, nil)
-			}
-		case 4: // switch blink
-			sw := f.Fabric.Switches()[rng.Intn(len(f.Fabric.Switches()))]
-			swName := sw.Name()
-			// Everything on that switch is disturbed.
-			for _, n := range f.order {
-				if f.Nodes[n].Switch == swName {
-					disturbed[n] = true
-				}
-			}
-			_ = f.KillSwitch(swName)
-			f.Sched.AfterFunc(8*time.Second, func() { _ = f.RestoreSwitch(swName) })
-		}
-		f.RunFor(time.Duration(2+rng.Intn(6)) * time.Second)
+	for _, msg := range f.ConvergenceFailures() {
+		t.Error(msg)
 	}
-	// Revive everything and let the farm settle.
-	for name := range down {
-		if down[name] {
-			_ = f.RestartNode(name)
-		}
+	for _, v := range engine.Violations() {
+		t.Errorf("invariant violated:\n%s", v.Format())
 	}
-	f.RunFor(3 * time.Minute)
-
-	// 1. Every daemon's adapters are committed members of some group, and
-	//    all adapters that share a segment share a view.
-	bySegment := map[string]map[string]bool{} // segment -> set of view strings
-	for _, name := range f.order {
-		d := f.Daemons[name]
-		if !d.Running() {
-			t.Fatalf("node %s still down after revival", name)
-		}
-		for _, ip := range f.Nodes[name].Adapters {
-			seg, connected := f.SegmentOf(ip)
-			if !connected {
-				t.Fatalf("adapter %v has no segment after chaos", ip)
-			}
-			v, ok := d.View(ip)
-			if !ok {
-				t.Fatalf("adapter %v (node %s) has no committed view", ip, name)
-			}
-			set := bySegment[seg]
-			if set == nil {
-				set = map[string]bool{}
-				bySegment[seg] = set
-			}
-			set[v.String()] = true
-		}
-	}
-	for seg, views := range bySegment {
-		if len(views) != 1 {
-			t.Fatalf("segment %s did not converge to one view: %v", seg, views)
-		}
-	}
-	// 2. Central's view matches reality and verification is clean.
-	c := f.ActiveCentral()
-	if c == nil {
-		t.Fatal("no active central after chaos")
-	}
-	if !c.Stable() {
-		t.Fatal("central not stable after quiet period")
-	}
-	total := 0
-	for _, members := range c.Groups() {
-		total += len(members)
-	}
-	want := 0
-	for _, name := range f.order {
-		want += len(f.Nodes[name].Adapters)
-	}
-	if total != want {
-		t.Fatalf("central tracks %d adapters, want %d (groups: %v)", total, want, c.Groups())
-	}
-	if ms := c.Verify(); len(ms) != 0 {
-		t.Fatalf("post-chaos verification found: %v", ms)
-	}
-	// 3. Never-disturbed nodes must have no unsuppressed failure events.
+	// Never-disturbed nodes must have no unsuppressed failure events.
+	disturbed := sched.Disturbed(topo)
 	for _, e := range f.Bus.Filter(event.NodeFailed) {
 		if !disturbed[e.Node] && !e.Suppressed {
-			t.Fatalf("undisturbed node %s was declared failed: %v", e.Node, e)
+			t.Errorf("undisturbed node %s was declared failed: %v", e.Node, e)
 		}
 	}
+	if t.Failed() {
+		t.Logf("reproduce with schedule:\n%s", sched)
+	}
+}
+
+// TestSeededBugCaught plants the paper's §3 flaw — a leader acting on
+// the first suspicion without the verification probe — and demands that
+// (1) the invariant engine catches the unverified eviction while the
+// chaos schedule is still running, and (2) the shrinker reduces the
+// schedule to a handful of ops that still reproduce it.
+func TestSeededBugCaught(t *testing.T) {
+	const seed = 7
+	buggy := func(s check.Schedule) (*check.Engine, time.Duration) {
+		spec := chaosSpec(seed)
+		spec.Core.UnsafeSkipVerify = true
+		f, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine := check.NewEngine(f)
+		engine.Attach(f.Trace)
+		f.Start()
+		if _, ok := f.RunUntilStable(2 * time.Minute); !ok {
+			t.Fatal("initial stabilization failed")
+		}
+		start := f.Now()
+		s.Run(f)
+		return engine, f.Now() - start
+	}
+
+	topo := func() check.Topology {
+		f, err := Build(chaosSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.CheckTopology()
+	}()
+	sched := check.Generate(seed, topo, check.GenOpts{Rounds: 12})
+	sched.Settle = 45 * time.Second
+
+	engine, ran := buggy(sched)
+	vs := engine.Violations()
+	if len(vs) == 0 {
+		t.Fatal("seeded skip-verify bug produced no invariant violation")
+	}
+	if vs[0].T > ran+2*time.Minute {
+		t.Errorf("violation not caught during the run (at %v)", vs[0].T)
+	}
+	found := false
+	for _, v := range vs {
+		if v.Checker == "eviction-evidence" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("expected an eviction-evidence violation, got: %v", vs[0])
+	}
+
+	min, runs := check.Shrink(sched, func(c check.Schedule) bool {
+		e, _ := buggy(c)
+		return !e.Ok()
+	}, 24)
+	if len(min.Ops) > 5 {
+		t.Errorf("shrinker left %d ops (want <= 5) after %d runs:\n%s",
+			len(min.Ops), runs, min)
+	}
+	t.Logf("shrunk %d ops -> %d in %d runs; reproduction:\n%s\nGo literal:\n%s",
+		len(sched.Ops), len(min.Ops), runs, min, min.GoLiteral())
 }

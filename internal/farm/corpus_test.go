@@ -1,0 +1,87 @@
+package farm
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// TestRegenerateWireFuzzCorpus harvests real protocol traffic into
+// internal/wire's FuzzDecode seed corpus: it taps every packet a chaos
+// run puts on the simulated network, keeps a few distinct frames per
+// wire type, and writes them as Go fuzz corpus files. Chaos traffic
+// reaches encoder paths hand-written seeds miss — mid-eviction prepares,
+// merge folds, journal stream records — and the committed files are then
+// exercised by every plain `go test ./internal/wire` run.
+//
+// Gated behind GS_REGEN_CORPUS=1 because it rewrites checked-in files;
+// run it when the wire protocol grows a message type or field.
+func TestRegenerateWireFuzzCorpus(t *testing.T) {
+	if os.Getenv("GS_REGEN_CORPUS") == "" {
+		t.Skip("set GS_REGEN_CORPUS=1 to regenerate internal/wire's fuzz corpus")
+	}
+	const seed = 606
+	const perType = 3
+
+	f, err := Build(chaosSpec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	captured := map[wire.Type][][]byte{}
+	seen := map[[sha256.Size]byte]bool{}
+	f.Net.Tap(func(tr netsim.Trace) {
+		typ, ok := wire.Peek(tr.Payload)
+		if !ok || len(captured[typ]) >= perType {
+			return
+		}
+		sum := sha256.Sum256(tr.Payload)
+		if seen[sum] {
+			return
+		}
+		seen[sum] = true
+		// The payload aliases the sender's reusable buffer: copy now.
+		captured[typ] = append(captured[typ], append([]byte(nil), tr.Payload...))
+	})
+	f.Start()
+	if _, ok := f.RunUntilStable(2 * time.Minute); !ok {
+		t.Fatal("initial stabilization failed")
+	}
+	topo := f.CheckTopology()
+	check.Generate(seed, topo, check.GenOpts{Failover: true}).Run(f)
+
+	dir := filepath.Join("..", "wire", "testdata", "fuzz", "FuzzDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Clear previous harvest (only files this test names) so a shrinking
+	// capture doesn't leave stale frames behind.
+	old, _ := filepath.Glob(filepath.Join(dir, "chaos-*"))
+	for _, p := range old {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for typ, frames := range captured {
+		for i, frame := range frames {
+			name := filepath.Join(dir, fmt.Sprintf("chaos-%s-%d", typ, i))
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(frame)) + ")\n"
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("chaos run captured no packets")
+	}
+	t.Logf("wrote %d corpus files across %d wire types to %s", total, len(captured), dir)
+}

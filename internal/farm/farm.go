@@ -117,7 +117,8 @@ type Farm struct {
 	Journals map[string]*journal.Journal
 
 	adapters map[transport.IP]*netsim.Adapter
-	order    []string // node build order (deterministic)
+	owner    map[transport.IP]string // adapter -> owning node
+	order    []string                // node build order (deterministic)
 	started  bool
 }
 
@@ -150,6 +151,7 @@ func Build(spec Spec) (*Farm, error) {
 		Centrals: make(map[string]*central.Central),
 		Journals: make(map[string]*journal.Journal),
 		adapters: make(map[transport.IP]*netsim.Adapter),
+		owner:    make(map[transport.IP]string),
 	}
 	f.Net = netsim.New(f.Sched, f.Fabric)
 	f.Net.SetDefaultProfile(netsim.LinkProfile{Loss: spec.Loss, Latency: spec.Latency, Jitter: spec.Jitter})
@@ -249,6 +251,7 @@ func (f *Farm) build() error {
 			info.Adapters = append(info.Adapters, ip)
 			eps = append(eps, a)
 			f.adapters[ip] = a
+			f.owner[ip] = name
 			if err := f.DB.AddAdapter(configdb.AdapterSpec{
 				IP: ip, Node: name, Index: idx, VLAN: vlan, Switch: sw, Port: port,
 			}); err != nil {

@@ -1,0 +1,145 @@
+package farm
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Property: netsim's incrementally maintained segment-membership cache
+// must always agree with resolving every adapter from scratch against
+// the switch fabric — no matter how VLANs are rewritten under it. The
+// cache is spliced per-adapter on fabric notifications (and bulk-rebuilt
+// on switch flips); a missed or double notification would desynchronize
+// it silently, misrouting every broadcast on the affected segment. This
+// test drives random partitions, heals, switch outages, domain moves,
+// and node kills, and checks the agreement after every step.
+func TestSegmentCacheMatchesResolverUnderChaos(t *testing.T) {
+	for _, seed := range []int64{11, 23, 47} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			segmentCacheRun(t, seed)
+		})
+	}
+}
+
+func segmentCacheRun(t *testing.T, seed int64) {
+	f, err := Build(chaosSpec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(2 * time.Minute); !ok {
+		t.Fatal("initial stabilization failed")
+	}
+
+	// Every simulated adapter, not just protocol ones: management-plane
+	// endpoints live in the same cache.
+	var adapters []transport.IP
+	for _, a := range f.Net.Adapters() {
+		adapters = append(adapters, a.LocalIP())
+	}
+
+	// Every segment name ever observed stays under scrutiny: a stale
+	// cache bucket for a now-empty segment is exactly the kind of
+	// desynchronization this hunts.
+	seen := map[string]bool{}
+	checkAgreement := func(step string) {
+		expect := map[string][]transport.IP{}
+		for _, ip := range adapters {
+			if name, ok := f.Fabric.SegmentOf(ip); ok {
+				expect[name] = append(expect[name], ip) // adapters is ascending
+				seen[name] = true
+			}
+		}
+		for name := range seen {
+			got := f.Net.SegmentMembers(name)
+			want := expect[name]
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("after %s: segment %s cache/resolver split:\n cache:    %v\n resolver: %v",
+					step, name, got, want)
+			}
+		}
+	}
+	checkAgreement("stabilization")
+
+	topo := f.CheckTopology()
+	rng := rand.New(rand.NewSource(seed))
+	downSwitch := ""
+	for i := 0; i < 40; i++ {
+		var step string
+		switch c := rng.Intn(6); c {
+		case 0: // partition a random segment, or heal it
+			segs := topo.Segments
+			if len(segs) == 0 {
+				continue
+			}
+			seg := segs[rng.Intn(len(segs))]
+			if rng.Intn(2) == 0 {
+				f.SetSegmentLoss(seg, 1)
+				step = "partition " + seg
+			} else {
+				f.SetSegmentLoss(seg, -1)
+				step = "heal " + seg
+			}
+		case 1: // switch outage / restore
+			if downSwitch == "" {
+				sw := topo.Switches[rng.Intn(len(topo.Switches))]
+				if err := f.KillSwitch(sw); err == nil {
+					downSwitch = sw
+					step = "switch-off " + sw
+				}
+			} else {
+				_ = f.RestoreSwitch(downSwitch)
+				step = "switch-on " + downSwitch
+				downSwitch = ""
+			}
+		case 2: // domain move (rewrites the node's data VLANs)
+			n := topo.Nodes[rng.Intn(len(topo.Nodes))]
+			if n.Role != "frontend" && n.Role != "backend" {
+				continue
+			}
+			var others []string
+			for _, d := range topo.Domains {
+				if d != n.Domain {
+					others = append(others, d)
+				}
+			}
+			to := others[rng.Intn(len(others))]
+			_ = f.MoveNodeToDomain(n.Name, to, nil)
+			step = "move " + n.Name + " to " + to
+		case 3: // node kill/restart churn
+			n := topo.Nodes[rng.Intn(len(topo.Nodes))]
+			if n.Role == "admin" {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				_ = f.KillNode(n.Name)
+				step = "kill " + n.Name
+			} else {
+				_ = f.RestartNode(n.Name)
+				step = "restart " + n.Name
+			}
+		default: // let in-flight moves and heals progress
+			step = "run"
+		}
+		if step == "" {
+			continue
+		}
+		f.RunFor(time.Duration(1+rng.Intn(5)) * time.Second)
+		checkAgreement(fmt.Sprintf("step %d (%s)", i, step))
+	}
+
+	if downSwitch != "" {
+		_ = f.RestoreSwitch(downSwitch)
+	}
+	f.RunFor(time.Minute)
+	checkAgreement("final settle")
+}

@@ -364,6 +364,19 @@ func (j *Journal) BeginEpoch() uint64 {
 	return j.epoch
 }
 
+// Reset discards the materialized state, re-basing the store on an empty
+// snapshot at the current position. An activating Central that declines
+// to restore (cold start) must call it: its live view starts from
+// nothing, and a journal still folding the previous regime's groups
+// would diverge from the live state it claims to describe — and leak
+// those stale groups into the next standby's bootstrap snapshot.
+func (j *Journal) Reset() {
+	j.st = NewState()
+	j.loaded = false
+	_ = j.store.SetSnapshot(Snapshot{Epoch: j.epoch, Seq: j.seq, State: j.st.clone()})
+	j.sinceSnap = 0
+}
+
 // commit stamps, persists and folds one locally-committed record,
 // returning the stamped record for streaming.
 func (j *Journal) commit(rec Record) Record {

@@ -103,6 +103,10 @@ type Trace struct {
 	Multicast bool
 	Receivers int // copies actually delivered (post-loss)
 	Dropped   int // copies lost to the loss model
+	// Payload aliases the sender's wire bytes and is valid only for the
+	// duration of the tap callback (senders reuse their buffers); a tap
+	// that retains packet contents must copy.
+	Payload []byte
 }
 
 // segment is one broadcast domain's cache bucket: its members in
@@ -587,7 +591,7 @@ func (a *Adapter) Unicast(srcPort uint16, dst transport.Addr, payload []byte) er
 	}
 	if n.tap != nil {
 		n.tap(Trace{Time: n.sched.Now(), Src: a.ip, Dst: dst, Segment: seg.name,
-			Bytes: len(payload), Receivers: received, Dropped: dropped})
+			Bytes: len(payload), Receivers: received, Dropped: dropped, Payload: payload})
 	}
 	return nil
 }
@@ -625,7 +629,7 @@ func (a *Adapter) Multicast(srcPort uint16, group transport.Addr, payload []byte
 	}
 	if n.tap != nil {
 		n.tap(Trace{Time: n.sched.Now(), Src: a.ip, Dst: group, Segment: seg.name,
-			Bytes: len(payload), Multicast: true, Receivers: received, Dropped: dropped})
+			Bytes: len(payload), Multicast: true, Receivers: received, Dropped: dropped, Payload: payload})
 	}
 	return nil
 }
