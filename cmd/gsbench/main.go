@@ -6,6 +6,7 @@
 //	gsbench [-quick] [experiment ...]
 //	gsbench chaos [-seeds N] [-from N] [-rounds N] [-parallel N]
 //	              [-partition] [-failover] [-seed-bug] [-no-shrink] [-o dir]
+//	gsbench serve [-quick] [-seed N] [-sessions R] [-parallel N] [-json path]
 //
 // With no arguments it runs everything. Experiments: fig5, formula1,
 // beaconloss, detector, hbload, failover, move, merge, centralload,
@@ -15,6 +16,12 @@
 // The chaos subcommand sweeps seed-derived fault schedules with the
 // protocol-invariant engine attached, shrinks any failing schedule to a
 // minimal reproduction, and exits nonzero if any seed fails.
+//
+// The serve subcommand runs E17: a simulated client population served
+// through a topology-driven balancer while the farm churns, sweeping
+// farm size x churn schedule x notification delay and reporting
+// user-visible error-seconds. It exits nonzero if any sanity property
+// of the sweep fails.
 package main
 
 import (
@@ -149,6 +156,38 @@ func runners() []runner {
 	}
 }
 
+// serveMain is the `gsbench serve` subcommand: the E17 serving-plane
+// sweep (farm size x churn schedule x notification delay) with the
+// user-visible error-seconds as the measured quantity. Exits nonzero
+// when a sanity property fails (a cell did not recover, an audit found
+// stale routes, or error-seconds were not monotone in delay).
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	o := exp.DefaultServe()
+	quick := fs.Bool("quick", false, "run the scaled-down variant (one farm size, two delays)")
+	fs.Int64Var(&o.Seed, "seed", o.Seed, "workload and farm seed")
+	fs.Float64Var(&o.SessionsPerSec, "sessions", o.SessionsPerSec, "mean session arrivals/s per domain")
+	fs.IntVar(&o.Parallel, "parallel", 0, "concurrent cells (0 = NumCPU)")
+	fs.StringVar(&o.JSONPath, "json", "BENCH_serve.json", "raw results path (\"\" disables)")
+	_ = fs.Parse(args)
+	if *quick {
+		o.FrontEnds = []int{2}
+		o.Delays = []time.Duration{0, 2 * time.Second}
+	}
+
+	start := time.Now()
+	tab, failed, err := exp.Serve(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbench: serve: %v\n", err)
+		os.Exit(1)
+	}
+	tab.Fprint(os.Stdout)
+	fmt.Printf("(serve wall time: %.1fs)\n", time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
 // chaosMain is the `gsbench chaos` subcommand: the E15 seed sweep with
 // its own flag set (invoked before the experiment-runner flags parse).
 func chaosMain(args []string) {
@@ -184,6 +223,10 @@ func chaosMain(args []string) {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		chaosMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
 		return
 	}
 	quick := flag.Bool("quick", false, "run scaled-down variants")

@@ -12,6 +12,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -84,6 +85,28 @@ type (
 	// MetricsRegistry aggregates traffic counters and named instruments
 	// (counters, gauges, histograms) fed by the flight recorder.
 	MetricsRegistry = metrics.Registry
+
+	// Clock abstracts time for protocol and serving-plane code; a farm's
+	// virtual clock comes from Farm.Clock().
+	Clock = transport.Clock
+
+	// ServeConfig tunes the serving plane's workload and balancer
+	// (arrival rates, session shape, tick).
+	ServeConfig = serve.Config
+	// ServePlane is an assembled serving plane: balancer, workload, and
+	// notification pipe. Build one with Farm.AttachServe.
+	ServePlane = serve.Plane
+	// ServeBalancer routes domain traffic using only what the
+	// notification pipe delivered.
+	ServeBalancer = serve.Balancer
+	// ServeWorkload drives the simulated client population.
+	ServeWorkload = serve.Workload
+	// ServeDomainStats is one domain's accumulated serving outcome
+	// (requests, errors, error-seconds).
+	ServeDomainStats = serve.DomainStats
+	// ServePipe models the notification channel between Central's event
+	// bus and a balancer.
+	ServePipe = serve.Pipe
 )
 
 // Detector kinds.
@@ -119,6 +142,7 @@ const (
 	CentralElected   = event.CentralElected
 	VerifyMismatch   = event.VerifyMismatch
 	AdapterDisabled  = event.AdapterDisabled
+	MoveStarted      = event.MoveStarted
 )
 
 // AdminVLAN is the administrative domain's VLAN id in built farms.
@@ -154,6 +178,17 @@ func MakeIP(a, b, c, d byte) IP { return transport.MakeIP(a, b, c, d) }
 // ParseDetector maps a detector name ("ring", "biring", "all-to-all",
 // "randping", "subgroup") to its kind.
 func ParseDetector(name string) (DetectorKind, error) { return detect.ParseKind(name) }
+
+// NewDirectPipe returns the zero-latency notification pipe: the
+// balancer shares Central's view instantly.
+func NewDirectPipe() ServePipe { return serve.NewDirectPipe() }
+
+// NewDelayedPipe returns a notification pipe that delivers every event a
+// fixed delay after publication — a balancer replica notified over a
+// unicast channel with that one-way latency.
+func NewDelayedPipe(clock Clock, delay time.Duration) ServePipe {
+	return serve.NewDelayedPipe(clock, delay)
+}
 
 // FrontVLAN returns the VLAN id of domain i's front-end segment in built
 // farms; BackVLAN its back-end segment.

@@ -172,6 +172,11 @@ func (c *Central) MoveAdapter(ip transport.IP, vlan int, done func(error)) {
 	deadline := c.clock.Now() + c.cfg.MoveWindow
 	c.expectedMoves[ip] = deadline
 	c.jMoveExpect(ip, deadline)
+	// Announce the intent before the VLAN rewrite lands: traffic-routing
+	// subscribers (the serving plane) drain the node now, instead of
+	// discovering the move through failure detection after the fact.
+	c.publish(event.Event{Kind: event.MoveStarted, Adapter: ip, Node: spec.Node,
+		Detail: fmt.Sprintf("to %s", switchsim.SegmentName(vlan))})
 	c.snmp.Set(agent, switchsim.OIDPortVLAN(spec.Port), snmp.Integer(int64(vlan)), func(err error) {
 		if err != nil {
 			delete(c.expectedMoves, ip)

@@ -48,6 +48,11 @@ const (
 	// AdapterDisabled: Central disabled an adapter over a verification
 	// conflict.
 	AdapterDisabled
+	// MoveStarted: Central began a planned domain move for the adapter —
+	// the VLAN rewrite is about to land. Subscribers that route traffic
+	// (the serving plane's balancer) drain the node on this notification
+	// instead of waiting for the post-move join to be reported.
+	MoveStarted
 )
 
 var kindNames = map[Kind]string{
@@ -65,6 +70,7 @@ var kindNames = map[Kind]string{
 	CentralElected:   "central-elected",
 	VerifyMismatch:   "verify-mismatch",
 	AdapterDisabled:  "adapter-disabled",
+	MoveStarted:      "move-started",
 }
 
 func (k Kind) String() string {
@@ -111,10 +117,20 @@ func (e Event) String() string {
 // Bus is a synchronous publish/subscribe fan-out. Subscribers run inline
 // on Publish, in subscription order — under simulation that keeps event
 // handling inside the deterministic event loop.
+//
+// Publishes from inside a subscriber callback are queued and delivered
+// after the current event finishes its fan-out, so every subscriber
+// observes the same canonical event order (the recorded Log order). A
+// naive recursive Publish would show subscriber A the order e1,e2 and
+// subscriber B the order e2,e1 whenever A republishes while handling e1
+// — fatal for same-seed replay once a balancer, the flight recorder,
+// and the invariant engine all watch the same bus.
 type Bus struct {
-	subs []func(Event)
-	log  []Event
-	keep bool
+	subs       []func(Event)
+	log        []Event
+	keep       bool
+	queue      []Event
+	delivering bool
 }
 
 // NewBus returns a bus that also records every published event when
@@ -124,14 +140,26 @@ func NewBus(record bool) *Bus { return &Bus{keep: record} }
 // Subscribe registers fn for all subsequent events.
 func (b *Bus) Subscribe(fn func(Event)) { b.subs = append(b.subs, fn) }
 
-// Publish delivers e to every subscriber.
+// Publish delivers e to every subscriber, in subscription order. Nested
+// publishes (from a subscriber) are deferred until the in-flight event
+// has reached every subscriber, preserving one global delivery order.
 func (b *Bus) Publish(e Event) {
 	if b.keep {
 		b.log = append(b.log, e)
 	}
-	for _, fn := range b.subs {
-		fn(e)
+	b.queue = append(b.queue, e)
+	if b.delivering {
+		return
 	}
+	b.delivering = true
+	for i := 0; i < len(b.queue); i++ {
+		ev := b.queue[i]
+		for _, fn := range b.subs {
+			fn(ev)
+		}
+	}
+	b.queue = b.queue[:0]
+	b.delivering = false
 }
 
 // Log returns the recorded events (nil unless recording).

@@ -26,6 +26,78 @@ func TestBusDeliversInOrder(t *testing.T) {
 	}
 }
 
+// TestBusReentrantPublishCanonicalOrder pins the delivery-order
+// guarantee the serving plane depends on: when a subscriber publishes
+// while handling an event, every subscriber — early or late in the
+// subscription list — still observes the identical global order, and
+// that order matches the recorded log.
+func TestBusReentrantPublishCanonicalOrder(t *testing.T) {
+	b := NewBus(true)
+	var first, second []Kind
+	b.Subscribe(func(e Event) {
+		first = append(first, e.Kind)
+		// Handling the failure triggers two follow-on publishes — the
+		// interleaving pattern Central's correlation paths produce.
+		if e.Kind == AdapterFailed {
+			b.Publish(Event{Kind: NodeFailed})
+			b.Publish(Event{Kind: SwitchFailed})
+		}
+	})
+	b.Subscribe(func(e Event) { second = append(second, e.Kind) })
+
+	b.Publish(Event{Kind: AdapterFailed})
+	b.Publish(Event{Kind: NodeMoved})
+
+	want := []Kind{AdapterFailed, NodeFailed, SwitchFailed, NodeMoved}
+	check := func(name string, got []Kind) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s observed %v, want %v", name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s observed %v, want %v", name, got, want)
+			}
+		}
+	}
+	check("first subscriber", first)
+	check("second subscriber", second)
+	log := b.Log()
+	var logged []Kind
+	for _, e := range log {
+		logged = append(logged, e.Kind)
+	}
+	check("recorded log", logged)
+}
+
+// TestBusNestedReentrantPublish exercises two levels of nesting: a
+// republish from handling a republished event still lands in global
+// FIFO order.
+func TestBusNestedReentrantPublish(t *testing.T) {
+	b := NewBus(false)
+	var got []Kind
+	b.Subscribe(func(e Event) {
+		got = append(got, e.Kind)
+		switch e.Kind {
+		case AdapterFailed:
+			b.Publish(Event{Kind: NodeFailed})
+		case NodeFailed:
+			b.Publish(Event{Kind: NodeRecovered})
+		}
+	})
+	b.Publish(Event{Kind: AdapterFailed})
+	b.Publish(Event{Kind: GroupFormed})
+	want := []Kind{AdapterFailed, NodeFailed, NodeRecovered, GroupFormed}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
 func TestBusRecording(t *testing.T) {
 	b := NewBus(true)
 	b.Publish(Event{Kind: AdapterFailed})
@@ -67,7 +139,7 @@ func TestEventString(t *testing.T) {
 
 func TestKindStringsDistinct(t *testing.T) {
 	seen := map[string]Kind{}
-	for k := AdapterFailed; k <= AdapterDisabled; k++ {
+	for k := AdapterFailed; k <= MoveStarted; k++ {
 		s := k.String()
 		if s == "" || strings.HasPrefix(s, "Kind(") {
 			t.Errorf("Kind(%d) has no name", k)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/farm"
+	"repro/internal/serve"
 )
 
 // ChaosOptions parameterizes the chaos seed sweep (E15): N independent
@@ -124,6 +125,12 @@ func chaosRun(o ChaosOptions, seed int64, sched *check.Schedule) chaosOutcome {
 		out.err = fmt.Errorf("initial stabilization failed")
 		return out
 	}
+	// A light serving plane rides along on a direct bus tap: after the
+	// schedule settles, every backend still in rotation must actually
+	// serve its domain — the end-to-end check that Central's
+	// notifications were sufficient to route around the whole schedule.
+	plane := f.AttachServe(serve.Config{Seed: seed, SessionsPerSec: 50}, nil)
+	plane.Start()
 	if sched == nil {
 		s := check.Generate(seed, f.CheckTopology(), check.GenOpts{
 			Rounds: o.Rounds, Partition: o.Partition, Failover: o.Failover,
@@ -140,6 +147,13 @@ func chaosRun(o ChaosOptions, seed int64, sched *check.Schedule) chaosOutcome {
 	out.violations = engine.Violations()
 	out.dropped = engine.Dropped()
 	out.converge = f.ConvergenceFailures()
+	plane.Stop()
+	// Only audit routing when the farm itself reconverged; a farm that is
+	// still broken already fails above, and auditing it would just blame
+	// the balancer for Central's unfinished business.
+	if c := f.ActiveCentral(); c != nil && c.Stable() && plane.Drained() {
+		out.converge = append(out.converge, plane.Audit(f)...)
+	}
 	return out
 }
 

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func quickServe() ServeOptions {
+	o := DefaultServe()
+	o.FrontEnds = []int{2}
+	o.Delays = []time.Duration{0, 1 * time.Second}
+	return o
+}
+
+// One cell, run twice, must be bit-identical: the whole serving plane —
+// arrivals, routing, notification pipe — lives inside the deterministic
+// kernel.
+func TestServeCellDeterministic(t *testing.T) {
+	o := quickServe()
+	a, err := ServeCell(o, 2, "failure", 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServeCell(o, 2, "failure", 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("cells diverged:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// The E17 acceptance properties on a minimal sweep: every cell recovers
+// with a clean audit, an unannounced failure always costs error-seconds,
+// the cost strictly increases with notification delay, and a
+// pre-announced move through a direct pipe is free.
+func TestServeSweepSanity(t *testing.T) {
+	o := quickServe()
+	points, err := ServeSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := serveSanity(o, points); len(bad) != 0 {
+		t.Fatalf("sanity violations: %v", bad)
+	}
+	for _, pt := range points {
+		if pt.Schedule == "move" && pt.DelayMs == 0 && pt.ErrorSeconds != 0 {
+			t.Fatalf("pre-announced move through a direct pipe cost %.3f error-seconds", pt.ErrorSeconds)
+		}
+		if pt.Requests == 0 || pt.PeakSessions == 0 {
+			t.Fatalf("cell served no traffic: %+v", pt)
+		}
+	}
+}

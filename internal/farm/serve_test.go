@@ -1,0 +1,185 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// serveSpec is a two-domain farm for serving-plane tests.
+func serveSpec(seed int64) Spec {
+	spec := fastSpec(seed)
+	spec.AdminNodes = 2
+	spec.Domains = []DomainSpec{
+		{Name: "acme", FrontEnds: 2, BackEnds: 1},
+		{Name: "globex", FrontEnds: 2, BackEnds: 1},
+	}
+	return spec
+}
+
+// buildServing stabilizes a farm and attaches a serving plane with
+// measurement starting clean. The plane attaches after initial
+// stabilization so startup churn never touches the routing table.
+func buildServing(t *testing.T, seed int64, cfg serve.Config, pipe serve.Pipe) (*Farm, *serve.Plane) {
+	t.Helper()
+	f, err := Build(serveSpec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if _, ok := f.RunUntilStable(90 * time.Second); !ok {
+		t.Fatal("farm never stabilized")
+	}
+	p := f.AttachServe(cfg, pipe)
+	p.Start()
+	f.RunFor(5 * time.Second) // warm-up: sessions in flight
+	p.Workload.ResetStats()
+	return f, p
+}
+
+func serveStats(t *testing.T, p *serve.Plane, dom string) serve.DomainStats {
+	t.Helper()
+	for _, s := range p.Stats() {
+		if s.Domain == dom {
+			return s
+		}
+	}
+	t.Fatalf("no stats for %q", dom)
+	return serve.DomainStats{}
+}
+
+// A node failure costs error-seconds until Central's notification pulls
+// it from rotation; after recovery the plane serves cleanly again and
+// the routing table matches ground truth.
+func TestServeFailureAccruesThenRecovers(t *testing.T) {
+	f, p := buildServing(t, 31, serve.Config{Seed: 31}, nil)
+
+	if err := f.KillNode("acme-fe-00"); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(40 * time.Second)
+
+	mid := serveStats(t, p, "acme")
+	if mid.ErrorSeconds <= 0 {
+		t.Fatalf("node failure cost no error-seconds: %+v", mid)
+	}
+	if up := p.Balancer.Healthy("acme"); len(up) != 1 || up[0] != "acme-fe-01" {
+		t.Fatalf("balancer rotation after failure: %v", up)
+	}
+	if !p.Drained() {
+		t.Fatal("direct pipe reports pending notifications")
+	}
+	if findings := p.Audit(f); len(findings) != 0 {
+		t.Fatalf("audit while failure is known: %v", findings)
+	}
+
+	// Tail window: the failure is routed around, so no new error-seconds.
+	p.Workload.ResetStats()
+	f.RunFor(20 * time.Second)
+	if tail := serveStats(t, p, "acme"); tail.ErrorSeconds != 0 {
+		t.Fatalf("errors still accruing after notification: %+v", tail)
+	}
+
+	if err := f.RestartNode("acme-fe-00"); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(40 * time.Second)
+	if up := p.Balancer.Healthy("acme"); len(up) != 2 {
+		t.Fatalf("balancer rotation after recovery: %v", up)
+	}
+	if findings := p.Audit(f); len(findings) != 0 {
+		t.Fatalf("audit after recovery: %v", findings)
+	}
+	p.Stop()
+}
+
+// The paper's §3.1 contrast: a Central-initiated move announces itself
+// (MoveStarted) so the balancer drains the node before the VLAN rewrite
+// lands — while the same move done behind GulfStream's back serves
+// errors until failure detection and move correlation catch up.
+func TestServeExpectedMoveCheaperThanSurprise(t *testing.T) {
+	run := func(surprise bool) float64 {
+		f, p := buildServing(t, 37, serve.Config{Seed: 37}, nil)
+		mover := "globex-fe-00"
+		if surprise {
+			if err := f.SurpriseMoveNode(mover, "acme"); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := f.MoveNodeToDomain(mover, "acme", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.RunFor(60 * time.Second)
+		if _, ok := f.RunUntilStable(60 * time.Second); !ok {
+			t.Fatal("farm never re-stabilized after move")
+		}
+		if findings := p.Audit(f); len(findings) != 0 {
+			t.Fatalf("audit after move (surprise=%v): %v", surprise, findings)
+		}
+		p.Stop()
+		return serveStats(t, p, "globex").ErrorSeconds
+	}
+
+	expected := run(false)
+	surprised := run(true)
+	if surprised <= 0 {
+		t.Fatalf("surprise move cost no error-seconds")
+	}
+	if expected >= surprised {
+		t.Fatalf("expected move (%.2f error-s) not cheaper than surprise (%.2f error-s)",
+			expected, surprised)
+	}
+}
+
+// Two builds from the same seed produce bit-identical serving stats —
+// the whole plane lives inside the deterministic kernel.
+func TestServeDeterministicAcrossBuilds(t *testing.T) {
+	run := func() []serve.DomainStats {
+		f, p := buildServing(t, 41, serve.Config{Seed: 41}, nil)
+		if err := f.KillNode("globex-fe-01"); err != nil {
+			t.Fatal(err)
+		}
+		f.RunFor(30 * time.Second)
+		p.Stop()
+		return p.Stats()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("serving stats diverged:\n  %+v\n  %+v", a[i], b[i])
+		}
+	}
+}
+
+// A delayed notification pipe costs strictly more error-seconds for the
+// same failure on the same farm.
+func TestServeDelayedPipeCostlierOnFarm(t *testing.T) {
+	run := func(delay time.Duration) float64 {
+		f, err := Build(serveSpec(43))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Start()
+		if _, ok := f.RunUntilStable(90 * time.Second); !ok {
+			t.Fatal("farm never stabilized")
+		}
+		p := f.AttachServe(serve.Config{Seed: 43}, serve.NewDelayedPipe(f.Clock(), delay))
+		p.Start()
+		f.RunFor(5 * time.Second)
+		p.Workload.ResetStats()
+		if err := f.KillNode("acme-fe-00"); err != nil {
+			t.Fatal(err)
+		}
+		f.RunFor(45 * time.Second)
+		p.Stop()
+		return serveStats(t, p, "acme").ErrorSeconds
+	}
+
+	direct := run(0)
+	slow := run(10 * time.Second)
+	if slow <= direct {
+		t.Fatalf("10s notification delay not costlier: direct %.2f, delayed %.2f", direct, slow)
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrivals is the seed-deterministic heavy-tailed session source: bursts
+// arrive as a Poisson process, each burst carrying a bounded-Pareto
+// number of sessions whose durations are bounded-Pareto as well — the
+// classic web-workload shape (most sessions are short, a heavy tail is
+// not, and load arrives in spikes). The generator owns its rand.Rand, so
+// one seed produces one arrival sequence regardless of what else the
+// simulation schedules.
+type Arrivals struct {
+	rng *rand.Rand
+
+	burstRate float64 // bursts per second (Poisson)
+	alpha     float64 // burst-size Pareto shape
+	maxBurst  float64
+
+	durAlpha float64
+	durMin   float64 // seconds
+	durMax   float64 // seconds
+}
+
+// NewArrivals builds a generator for one domain from the workload
+// config. Seeds differing in any bit give independent sequences.
+func NewArrivals(seed int64, cfg Config) *Arrivals {
+	cfg = cfg.withDefaults()
+	meanBurst := boundedParetoMean(cfg.BurstAlpha, 1, float64(cfg.MaxBurst))
+	// Pick the duration window [L, TailRatio*L] so its Pareto mean lands
+	// exactly on MeanSession.
+	factor := boundedParetoMean(cfg.SessionAlpha, 1, cfg.TailRatio)
+	durMin := cfg.MeanSession.Seconds() / factor
+	return &Arrivals{
+		rng:       rand.New(rand.NewSource(seed)),
+		burstRate: cfg.SessionsPerSec / meanBurst,
+		alpha:     cfg.BurstAlpha,
+		maxBurst:  float64(cfg.MaxBurst),
+		durAlpha:  cfg.SessionAlpha,
+		durMin:    durMin,
+		durMax:    durMin * cfg.TailRatio,
+	}
+}
+
+// Next draws the next burst: the gap until it arrives, how many sessions
+// it carries, and their common duration (sessions in one burst behave as
+// one counted cohort).
+func (a *Arrivals) Next() (gap time.Duration, sessions int, dur time.Duration) {
+	u := 1 - a.rng.Float64() // (0, 1]
+	gap = time.Duration(-math.Log(u) / a.burstRate * float64(time.Second))
+	// Round, don't floor: flooring the continuous sample would bias the
+	// realized session rate ~10% under SessionsPerSec.
+	sessions = int(math.Round(a.boundedPareto(a.alpha, 1, a.maxBurst)))
+	if sessions < 1 {
+		sessions = 1
+	}
+	dur = time.Duration(a.boundedPareto(a.durAlpha, a.durMin, a.durMax) * float64(time.Second))
+	return gap, sessions, dur
+}
+
+// boundedPareto samples the Pareto distribution with shape alpha
+// truncated to [l, h] by CDF inversion.
+func (a *Arrivals) boundedPareto(alpha, l, h float64) float64 {
+	u := 1 - a.rng.Float64() // (0, 1]
+	lh := math.Pow(l/h, alpha)
+	return l / math.Pow(1-(1-lh)*(1-u), 1/alpha)
+}
+
+// boundedParetoMean is the analytic mean of the Pareto(alpha)
+// distribution truncated to [l, h].
+func boundedParetoMean(alpha, l, h float64) float64 {
+	if h <= l {
+		return l
+	}
+	if alpha == 1 {
+		return l * h / (h - l) * math.Log(h/l)
+	}
+	la := math.Pow(l, alpha)
+	return alpha * la * (math.Pow(h, 1-alpha) - math.Pow(l, 1-alpha)) /
+		((1 - alpha) * (1 - math.Pow(l/h, alpha)))
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestArrivalsSameSeedIdentical(t *testing.T) {
+	cfg := Config{Seed: 42}
+	a := NewArrivals(42, cfg)
+	b := NewArrivals(42, cfg)
+	for i := 0; i < 5000; i++ {
+		ga, sa, da := a.Next()
+		gb, sb, db := b.Next()
+		if ga != gb || sa != sb || da != db {
+			t.Fatalf("draw %d diverged: (%v,%d,%v) vs (%v,%d,%v)", i, ga, sa, da, gb, sb, db)
+		}
+	}
+}
+
+func TestArrivalsDifferentSeedsDiverge(t *testing.T) {
+	cfg := Config{}
+	a := NewArrivals(1, cfg)
+	b := NewArrivals(2, cfg)
+	same := 0
+	for i := 0; i < 100; i++ {
+		ga, sa, _ := a.Next()
+		gb, sb, _ := b.Next()
+		if ga == gb && sa == sb {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestArrivalsDistribution checks the generator against its own analytic
+// targets: empirical session rate near SessionsPerSec, empirical mean
+// duration near MeanSession, all draws inside the configured bounds, and
+// a genuinely heavy duration tail.
+func TestArrivalsDistribution(t *testing.T) {
+	cfg := Config{
+		SessionsPerSec: 500,
+		MeanSession:    20 * time.Second,
+	}.withDefaults()
+	a := NewArrivals(7, cfg)
+
+	const draws = 200_000
+	var totalGap, totalDur float64
+	var totalSessions int64
+	durs := make([]float64, 0, draws)
+	for i := 0; i < draws; i++ {
+		gap, sessions, dur := a.Next()
+		if sessions < 1 || sessions > cfg.MaxBurst {
+			t.Fatalf("burst size %d outside [1, %d]", sessions, cfg.MaxBurst)
+		}
+		if dur <= 0 {
+			t.Fatalf("non-positive duration %v", dur)
+		}
+		totalGap += gap.Seconds()
+		totalSessions += int64(sessions)
+		totalDur += dur.Seconds()
+		durs = append(durs, dur.Seconds())
+	}
+
+	rate := float64(totalSessions) / totalGap
+	if math.Abs(rate-cfg.SessionsPerSec)/cfg.SessionsPerSec > 0.10 {
+		t.Errorf("empirical session rate %.1f/s, want within 10%% of %.1f/s",
+			rate, cfg.SessionsPerSec)
+	}
+
+	meanDur := totalDur / draws
+	want := cfg.MeanSession.Seconds()
+	if math.Abs(meanDur-want)/want > 0.10 {
+		t.Errorf("empirical mean duration %.2fs, want within 10%% of %.2fs", meanDur, want)
+	}
+
+	sort.Float64s(durs)
+	p50 := durs[draws/2]
+	p99 := durs[draws*99/100]
+	// Heavy tail: the p99 session is far longer than the median one. For
+	// Pareto(1.3) on a 100:1 window the ratio is ~30; exponential would
+	// give ~6.6.
+	if p99/p50 < 10 {
+		t.Errorf("duration tail too light: p99/p50 = %.1f, want >= 10", p99/p50)
+	}
+	// The bound actually binds: nothing beyond TailRatio × the minimum.
+	if durs[draws-1] > durs[0]*cfg.TailRatio*1.01 {
+		t.Errorf("max duration %.2fs exceeds TailRatio bound (min %.2fs, ratio %.0f)",
+			durs[draws-1], durs[0], cfg.TailRatio)
+	}
+}
+
+func TestBoundedParetoMeanMatchesSamples(t *testing.T) {
+	for _, alpha := range []float64{0.8, 1.0, 1.3, 2.5} {
+		a := NewArrivals(11, Config{})
+		const n = 500_000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += a.boundedPareto(alpha, 2, 200)
+		}
+		got := sum / n
+		want := boundedParetoMean(alpha, 2, 200)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("alpha=%.1f: sampled mean %.3f vs analytic %.3f", alpha, got, want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/transport"
+)
+
+// Pipe is the notification channel between Central's event bus and the
+// balancer. The implementations model the two deployment shapes the
+// paper allows for view subscribers: co-located with Central (direct)
+// and unicast-notified over the network (delayed).
+type Pipe interface {
+	// Deliver accepts one bus event and eventually invokes fn with it,
+	// preserving publication order.
+	Deliver(e event.Event, fn func(event.Event))
+	// Pending reports how many accepted events have not yet reached fn.
+	Pending() int
+}
+
+// directPipe hands events to the balancer inline on the bus fan-out —
+// the balancer shares Central's view instantly.
+type directPipe struct{}
+
+// NewDirectPipe returns the zero-latency notification pipe.
+func NewDirectPipe() Pipe { return directPipe{} }
+
+func (directPipe) Deliver(e event.Event, fn func(event.Event)) { fn(e) }
+func (directPipe) Pending() int                                { return 0 }
+
+// delayedPipe delivers each event a fixed delay after publication, in
+// order — a balancer replica notified over a unicast channel with that
+// one-way latency. The delay is the knob E17 sweeps to tie notification
+// latency to user-visible error-seconds.
+type delayedPipe struct {
+	clock   transport.Clock
+	delay   time.Duration
+	pending int
+}
+
+// NewDelayedPipe returns a pipe that delays every notification by delay
+// on the given clock. A non-positive delay degenerates to the direct
+// pipe.
+func NewDelayedPipe(clock transport.Clock, delay time.Duration) Pipe {
+	if delay <= 0 {
+		return directPipe{}
+	}
+	return &delayedPipe{clock: clock, delay: delay}
+}
+
+func (p *delayedPipe) Deliver(e event.Event, fn func(event.Event)) {
+	p.pending++
+	// Same delay for every event plus the scheduler's FIFO tie-break
+	// keeps delivery in publication order.
+	p.clock.AfterFunc(p.delay, func() {
+		p.pending--
+		fn(e)
+	})
+}
+
+func (p *delayedPipe) Pending() int { return p.pending }

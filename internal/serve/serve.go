@@ -1,0 +1,172 @@
+// Package serve is the topology-driven serving plane: the Océano
+// use-case GulfStream was built for (paper §1, §3.1), where a hosting
+// farm keeps answering customer requests while nodes fail, move between
+// security domains, and switches are rewired underneath them.
+//
+// It has three parts:
+//
+//   - a Balancer that maintains a per-domain table of healthy front-end
+//     backends, updated exclusively from GulfStream Central's event bus
+//     (AdapterFailed, NodeFailed, MoveStarted, NodeMoved, recoveries,
+//     VerifyMismatch) — never from ground truth, so what it routes on is
+//     exactly what the notification path delivered;
+//   - a Pipe between the bus and the balancer that models the
+//     notification channel: a direct tap (the balancer runs next to
+//     Central) or a delayed unicast feed (a replica notified over the
+//     network), making stale-view routing a measurable quantity;
+//   - a Workload that drives a simulated client population against the
+//     balancer inside the deterministic event kernel. Sessions arrive in
+//     heavy-tailed bursts from a seed-deterministic generator and are
+//     tracked as counted cohorts — an int per expiry bucket, not a
+//     goroutine or struct per session — so millions of in-flight
+//     sessions cost the same as ten.
+//
+// Every request resolves against a ground-truth Oracle (the switch
+// fabric plus daemon liveness): a request routed to a node the fabric
+// has killed or moved out of the domain is an error. The workload
+// accumulates per-domain request/error counts, misroutes, and
+// error-seconds — the integral of the failing traffic fraction over
+// time — which is what turns "notification latency" into a user-visible
+// number (experiment E17, DESIGN.md §11).
+package serve
+
+import (
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Config tunes the serving plane. The zero value is usable: every field
+// falls back to the defaults below.
+type Config struct {
+	// Seed drives the workload's arrival generator. The generator owns
+	// its random stream (it never touches the scheduler's), so the same
+	// seed yields the identical arrival sequence under any notification
+	// delay or churn schedule.
+	Seed int64
+	// Tick is the workload's accounting quantum (default 100ms): each
+	// tick expires due sessions, admits arrivals, and routes the tick's
+	// request batch.
+	Tick time.Duration
+	// SessionsPerSec is the mean session arrival rate per domain
+	// (default 200). Arrivals come in heavy-tailed bursts, so the
+	// instantaneous rate swings far above the mean.
+	SessionsPerSec float64
+	// RequestsPerSec is each in-flight session's request rate (default 1).
+	RequestsPerSec float64
+	// BurstAlpha is the bounded-Pareto shape of the per-burst session
+	// count (default 1.4; lower = heavier tail).
+	BurstAlpha float64
+	// MaxBurst bounds one burst's session count (default 5000).
+	MaxBurst int
+	// MeanSession is the mean session duration (default 30s).
+	MeanSession time.Duration
+	// SessionAlpha is the bounded-Pareto shape of session durations
+	// (default 1.3).
+	SessionAlpha float64
+	// TailRatio is the longest-to-shortest session duration ratio
+	// (default 100): durations are Pareto on [L, TailRatio*L] with L
+	// chosen so the mean lands on MeanSession.
+	TailRatio float64
+	// QuarantineOnMismatch drops a backend from rotation when a
+	// VerifyMismatch names its node (off by default: chaos runs produce
+	// transient mismatches that would thrash the table).
+	QuarantineOnMismatch bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tick <= 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+	if c.SessionsPerSec <= 0 {
+		c.SessionsPerSec = 200
+	}
+	if c.RequestsPerSec <= 0 {
+		c.RequestsPerSec = 1
+	}
+	if c.BurstAlpha <= 0 {
+		c.BurstAlpha = 1.4
+	}
+	if c.MaxBurst <= 0 {
+		c.MaxBurst = 5000
+	}
+	if c.MeanSession <= 0 {
+		c.MeanSession = 30 * time.Second
+	}
+	if c.SessionAlpha <= 0 {
+		c.SessionAlpha = 1.3
+	}
+	if c.TailRatio < 2 {
+		c.TailRatio = 100
+	}
+	return c
+}
+
+// Directory is the static serving topology the balancer seeds from and
+// the lookup it consults when a move notification arrives. farm.Farm
+// satisfies it structurally.
+type Directory interface {
+	// Domains lists the served domains, deterministically ordered.
+	Domains() []string
+	// FrontEnds lists the domain's front-end nodes, deterministically
+	// ordered.
+	FrontEnds(domain string) []string
+	// DomainOf resolves a node's current domain (the directory's view at
+	// call time; through a delayed pipe that view is already stale by
+	// the pipe's delay, which is the point).
+	DomainOf(node string) (string, bool)
+}
+
+// Oracle is the ground truth a routed request resolves against: the
+// switch fabric's current wiring plus daemon liveness. farm.Farm
+// satisfies it structurally.
+type Oracle interface {
+	// Serves reports whether the node can actually answer the domain's
+	// traffic right now.
+	Serves(node, domain string) bool
+}
+
+// Plane bundles one assembled serving plane: balancer, workload, and the
+// notification pipe between Central's bus and the balancer.
+type Plane struct {
+	Balancer *Balancer
+	Workload *Workload
+	pipe     Pipe
+}
+
+// Attach builds a serving plane over the given farm surfaces and
+// subscribes it to the bus through pipe (a direct tap when pipe is nil).
+// reg and tracer may be nil.
+func Attach(cfg Config, clock transport.Clock, bus *event.Bus, dir Directory,
+	oracle Oracle, reg *metrics.Registry, tracer *trace.Recorder, pipe Pipe) *Plane {
+	cfg = cfg.withDefaults()
+	if pipe == nil {
+		pipe = NewDirectPipe()
+	}
+	b := NewBalancer(cfg, clock, dir, reg, tracer)
+	bus.Subscribe(func(e event.Event) { pipe.Deliver(e, b.Apply) })
+	w := NewWorkload(cfg, clock, b, oracle, reg, tracer)
+	return &Plane{Balancer: b, Workload: w, pipe: pipe}
+}
+
+// Start begins the workload ticks.
+func (p *Plane) Start() { p.Workload.Start() }
+
+// Stop halts the workload.
+func (p *Plane) Stop() { p.Workload.Stop() }
+
+// Drained reports whether every bus notification has reached the
+// balancer (a delayed pipe may still hold some in flight).
+func (p *Plane) Drained() bool { return p.pipe.Pending() == 0 }
+
+// Audit checks the serving-plane invariant against ground truth: every
+// backend the balancer would route to must actually serve its domain.
+// It returns one finding per stale route (empty when consistent). Valid
+// after the farm is stable and the pipe has drained.
+func (p *Plane) Audit(oracle Oracle) []string { return p.Balancer.Audit(oracle) }
+
+// Stats snapshots the per-domain serving statistics.
+func (p *Plane) Stats() []DomainStats { return p.Workload.Stats() }

@@ -104,6 +104,17 @@ const (
 	KCentralActivated
 	// KCentralDeactivated: Central leadership was lost.
 	KCentralDeactivated
+	// KServeBackendDown: the serving plane's balancer pulled backend Node
+	// out of rotation (failure notification, planned-move drain, or
+	// verification quarantine — Detail says which).
+	KServeBackendDown
+	// KServeBackendUp: the balancer returned backend Node to rotation for
+	// the domain in Detail.
+	KServeBackendUp
+	// KServeMisroute: Count requests for the domain in Detail resolved
+	// against ground truth as errors (routed to Node, or unrouted when
+	// Node is empty).
+	KServeMisroute
 
 	kindMax
 )
@@ -139,6 +150,9 @@ var kindNames = [...]string{
 	KJournalReplayed:    "journal-replayed",
 	KCentralActivated:   "central-activated",
 	KCentralDeactivated: "central-deactivated",
+	KServeBackendDown:   "serve-backend-down",
+	KServeBackendUp:     "serve-backend-up",
+	KServeMisroute:      "serve-misroute",
 }
 
 func (k Kind) String() string {
