@@ -7,6 +7,7 @@
 //	gsbench chaos [-seeds N] [-from N] [-rounds N] [-parallel N]
 //	              [-partition] [-failover] [-seed-bug] [-no-shrink] [-o dir]
 //	gsbench serve [-quick] [-seed N] [-sessions R] [-parallel N] [-json path]
+//	gsbench lag   [-quick] [-seed N] [-trials N] [-parallel N] [-json path]
 //
 // With no arguments it runs everything. Experiments: fig5, formula1,
 // beaconloss, detector, hbload, failover, move, merge, centralload,
@@ -22,6 +23,14 @@
 // farm size x churn schedule x notification delay and reporting
 // user-visible error-seconds. It exits nonzero if any sanity property
 // of the sweep fails.
+//
+// The lag subcommand runs E18: the E17 cells re-run with the causal
+// timeline plane attached, stitching every incident into an end-to-end
+// span and attributing the user-visible window stage by stage
+// (fault→suspicion→verdict→2PC→report→notify→reroute→first clean
+// request). It exits nonzero if any span is incomplete, any incident
+// never closes, or the span arithmetic fails to reconcile with the
+// serving plane's measured error-seconds.
 package main
 
 import (
@@ -188,6 +197,37 @@ func serveMain(args []string) {
 	}
 }
 
+// lagMain is the `gsbench lag` subcommand: the E18 latency-attribution
+// sweep. Exits nonzero when a sanity property fails (an incomplete or
+// unclosed span, non-monotone quantiles, or span arithmetic that does
+// not reconcile with measured error-seconds).
+func lagMain(args []string) {
+	fs := flag.NewFlagSet("lag", flag.ExitOnError)
+	o := exp.DefaultLag()
+	quick := fs.Bool("quick", false, "run the scaled-down variant (one farm size, two trials)")
+	fs.Int64Var(&o.Seed, "seed", o.Seed, "base seed (trial i runs at seed+i)")
+	fs.IntVar(&o.Trials, "trials", o.Trials, "trials per cell")
+	fs.IntVar(&o.Parallel, "parallel", 0, "concurrent cells (0 = NumCPU)")
+	fs.StringVar(&o.JSONPath, "json", "BENCH_lag.json", "raw results path (\"\" disables)")
+	_ = fs.Parse(args)
+	if *quick {
+		q := exp.QuickLag()
+		o.FrontEnds, o.Trials = q.FrontEnds, q.Trials
+	}
+
+	start := time.Now()
+	tab, failed, err := exp.Lag(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbench: lag: %v\n", err)
+		os.Exit(1)
+	}
+	tab.Fprint(os.Stdout)
+	fmt.Printf("(lag wall time: %.1fs)\n", time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
 // chaosMain is the `gsbench chaos` subcommand: the E15 seed sweep with
 // its own flag set (invoked before the experiment-runner flags parse).
 func chaosMain(args []string) {
@@ -227,6 +267,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serveMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "lag" {
+		lagMain(os.Args[2:])
 		return
 	}
 	quick := flag.Bool("quick", false, "run scaled-down variants")

@@ -10,14 +10,16 @@
 // Commands: help, run <seconds>, status, groups, events [n], kill <node>,
 // restart <node>, killsw <switch>, restoresw <switch>, move <node> <domain>,
 // fail <adapter> <recv|send|stop|ok>, verify, journal, metrics, trace,
-// health, quit.
+// timeline, health, quit.
 // With -journal every node keeps a state journal; the journal command
 // shows each node's replay position and who the warm standby is.
 // The flight recorder is on by default: "trace [n]" shows the last n
 // protocol transitions, "trace txns" the correlated 2PC timelines,
 // "trace <filter>" records matching a kind/node substring, and
-// "trace json" the raw dump; "health" summarizes per-node daemon and
-// adapter state.
+// "trace json" the raw dump; "timeline" stitches the recorder into
+// end-to-end incident spans and "timeline <ref|incident>" renders one
+// span's waterfall; "health" summarizes per-node daemon and adapter
+// state.
 package main
 
 import (
@@ -104,7 +106,8 @@ func repl(f *gulfstream.Farm, in io.Reader, out io.Writer) {
 		case "help":
 			fmt.Fprintln(out, "run <s> | status | groups | events [n] | kill <node> | restart <node> |")
 			fmt.Fprintln(out, "killsw <sw> | restoresw <sw> | move <node> <domain> | fail <adapter> <mode> |")
-			fmt.Fprintln(out, "verify | journal | metrics | trace [n|txns|json|<filter>] | health | quit")
+			fmt.Fprintln(out, "verify | journal | metrics | trace [n|txns|json|<filter>] |")
+			fmt.Fprintln(out, "timeline [ref|incident] | health | quit")
 		case "run":
 			secs := 10.0
 			if len(args) > 1 {
@@ -221,6 +224,8 @@ func repl(f *gulfstream.Farm, in io.Reader, out io.Writer) {
 			fmt.Fprint(out, f.Metrics.Summary())
 		case "trace":
 			cmdTrace(f, out, args[1:])
+		case "timeline":
+			cmdTimeline(f, out, args[1:])
 		case "health":
 			cmdHealth(f, out)
 		default:
@@ -287,6 +292,85 @@ func cmdTrace(f *gulfstream.Farm, out io.Writer, args []string) {
 		for _, rec := range recs {
 			fmt.Fprintf(out, "  %v\n", rec)
 		}
+	}
+}
+
+// cmdTimeline stitches the flight recorder into end-to-end incident
+// spans. With no argument it lists every span's one-line summary; with
+// a span ref ("s3") or a Central incident id it renders that span's
+// waterfall — one row per milestone with the latency attributed to the
+// stage and a bar positioned on the span's own time axis.
+func cmdTimeline(f *gulfstream.Farm, out io.Writer, args []string) {
+	if !f.Trace.Enabled() && f.Trace.Total() == 0 {
+		fmt.Fprintln(out, "flight recorder disabled (start gsctl without -trace=false)")
+		return
+	}
+	spans := gulfstream.StitchSpans(f.Trace.Snapshot(), f)
+	if len(spans) == 0 {
+		fmt.Fprintln(out, "no spans stitched (no incidents in the retained trace window)")
+		return
+	}
+	if len(args) == 0 {
+		for _, sp := range spans {
+			extra := ""
+			if sp.Incident != 0 {
+				extra = fmt.Sprintf("  incident=%d@%s", sp.Incident, sp.Central)
+			}
+			if !sp.Complete() {
+				extra += fmt.Sprintf("  MISSING %v", sp.Missing)
+			}
+			fmt.Fprintf(out, "  %v%s\n", sp, extra)
+		}
+		fmt.Fprintln(out, "timeline <ref|incident> renders one span's waterfall")
+		return
+	}
+	var sel *gulfstream.Span
+	for _, sp := range spans {
+		if sp.Ref == args[0] || (sp.Incident != 0 && strconv.FormatUint(sp.Incident, 10) == args[0]) {
+			sel = sp
+			break
+		}
+	}
+	if sel == nil {
+		fmt.Fprintf(out, "no span %q (bare timeline lists refs and incident ids)\n", args[0])
+		return
+	}
+	fmt.Fprintf(out, "%v\n", sel)
+	if sel.Incident != 0 {
+		fmt.Fprintf(out, "  incident %d issued by Central on %s", sel.Incident, sel.Central)
+		if sel.Closed {
+			fmt.Fprintf(out, ", closed at %v", sel.ClosedAt)
+		}
+		fmt.Fprintln(out)
+	}
+	if sel.Domain != "" {
+		fmt.Fprintf(out, "  serving domain: %s\n", sel.Domain)
+	}
+	const width = 44
+	total := sel.Total()
+	start := sel.Start()
+	col := func(t time.Duration) int {
+		if total <= 0 {
+			return 0
+		}
+		c := int(float64(t-start) / float64(total) * width)
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	for i, m := range sel.Milestones {
+		from := m.T
+		if i > 0 {
+			from = sel.Milestones[i-1].T
+		}
+		a, b := col(from), col(m.T)
+		bar := strings.Repeat(" ", a) + "|" + strings.Repeat("=", b-a)
+		fmt.Fprintf(out, "  %-12s t=%-12v +%-10v %-20s %s\n",
+			m.Stage, m.T, m.T-from, m.Node, bar)
+	}
+	if !sel.Complete() {
+		fmt.Fprintf(out, "  missing stages: %v\n", sel.Missing)
 	}
 }
 

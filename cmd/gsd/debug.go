@@ -19,6 +19,7 @@ import (
 	"repro/internal/central"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/span"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -110,6 +111,10 @@ func startDebug(addr, node string, rt *transport.Runtime, eps []transport.Endpoi
 		w.Header().Set("Content-Type", "application/json")
 		serveTrace(w, r, rec)
 	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		serveSpans(w, r, node, eps, rec)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		s := cur.Load()
 		if s == nil {
@@ -134,7 +139,65 @@ func startDebug(addr, node string, rt *transport.Runtime, eps []transport.Endpoi
 			log.Printf("gsd: debug endpoint: %v", err)
 		}
 	}()
-	log.Printf("gsd: debug endpoint on http://%s (/metrics /trace /healthz /debug/vars /debug/pprof)", addr)
+	log.Printf("gsd: debug endpoint on http://%s (/metrics /trace /spans /healthz /debug/vars /debug/pprof)", addr)
+}
+
+// localTopo resolves the one node a standalone gsd can see: its own.
+// Spans stitched from a single daemon's recorder cover the stages this
+// node participated in or was notified about; farm-wide stitching wants
+// a Collector over every node's recorder (gsctl timeline, gsbench lag).
+type localTopo struct {
+	node string
+	ips  []transport.IP
+}
+
+func (t localTopo) AdaptersOf(node string) []transport.IP {
+	if node == t.node {
+		return t.ips
+	}
+	return nil
+}
+
+// serveSpans stitches the retained trace window into end-to-end
+// incident spans and dumps them as JSON. ?incident=<id> keeps one
+// Central incident, ?kind=<kind> one span kind (failure, planned-move,
+// unexpected-move, switch-failure, leader-change), ?open=1 only spans
+// whose incident has not closed yet.
+func serveSpans(w http.ResponseWriter, r *http.Request, node string,
+	eps []transport.Endpoint, rec *trace.Recorder) {
+
+	topo := localTopo{node: node}
+	for _, ep := range eps {
+		topo.ips = append(topo.ips, ep.LocalIP())
+	}
+	q := r.URL.Query()
+	var incident uint64
+	if s := q.Get("incident"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":"bad incident %q"}`, s), http.StatusBadRequest)
+			return
+		}
+		incident = v
+	}
+	kind, openOnly := q.Get("kind"), q.Get("open") != ""
+	spans := span.Stitch(rec.Snapshot(), topo)
+	out := make([]*span.Span, 0, len(spans))
+	for _, sp := range spans {
+		if incident != 0 && sp.Incident != incident {
+			continue
+		}
+		if kind != "" && sp.Kind != kind {
+			continue
+		}
+		if openOnly && sp.Closed {
+			continue
+		}
+		out = append(out, sp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(out)
 }
 
 // serveTrace dumps the flight recorder. With no query parameters the

@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/serve"
+	"repro/internal/span"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -107,6 +108,21 @@ type (
 	// ServePipe models the notification channel between Central's event
 	// bus and a balancer.
 	ServePipe = serve.Pipe
+
+	// Span is one stitched end-to-end incident timeline: fault →
+	// detection → 2PC → report → notification → reroute → first clean
+	// request, assembled from flight-recorder records.
+	Span = span.Span
+	// SpanMilestone is one timestamped stage of a span.
+	SpanMilestone = span.Milestone
+	// SpanStage labels a milestone (suspicion, verdict, 2pc-prepare, ...).
+	SpanStage = span.Stage
+	// SpanCollector merges flight-recorder streams from many nodes into
+	// one deterministic sim-time order for the stitcher.
+	SpanCollector = span.Collector
+	// SpanTopology is what the stitcher needs to know about the farm:
+	// which adapters belong to which node. *Farm implements it.
+	SpanTopology = span.Topology
 )
 
 // Detector kinds.
@@ -171,6 +187,28 @@ func ParseIP(s string) (IP, bool) { return transport.ParseIP(s) }
 // TraceTxns groups a trace dump's 2PC records by transaction id
 // (leader#token), ordered by each transaction's first capture.
 func TraceTxns(records []TraceRecord) []Txn { return trace.Txns(records) }
+
+// StitchSpans assembles end-to-end incident spans from a trace dump —
+// one per Central incident id plus one per leader takeover. Records
+// must be in capture order (Collector.Records or Recorder.Snapshot).
+func StitchSpans(records []TraceRecord, topo SpanTopology) []*Span {
+	return span.Stitch(records, topo)
+}
+
+// AuditSpans re-stitches the dump and returns one finding per
+// incompletely-closed or non-causal span (empty on a healthy farm).
+func AuditSpans(records []TraceRecord, topo SpanTopology) []string {
+	return span.Audit(records, topo)
+}
+
+// NewSpanCollector returns a collector with the default record filter
+// (beacon chatter excluded).
+func NewSpanCollector() *SpanCollector { return span.NewCollector(nil) }
+
+// ObserveSpans feeds every span's per-stage durations into the
+// registry's span_stage_* histograms (and span_total for complete
+// spans).
+func ObserveSpans(reg *MetricsRegistry, spans []*Span) { span.Observe(reg, spans) }
 
 // MakeIP builds an IP from dotted-quad components.
 func MakeIP(a, b, c, d byte) IP { return transport.MakeIP(a, b, c, d) }

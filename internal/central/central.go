@@ -99,6 +99,11 @@ type Central struct {
 	// expectedMoves holds adapters Central itself is relocating.
 	expectedMoves map[transport.IP]time.Duration
 
+	// incidents holds the open incident id per subject node or switch;
+	// incidentSeq issues ids (incident.go).
+	incidents   map[string]uint64
+	incidentSeq uint64
+
 	// limbo holds adapters displaced by a lineage break (a Fresh report
 	// replaced their group): still presumed alive, but if they surface in
 	// no group before the deadline they are declared failed.
@@ -148,6 +153,7 @@ func New(cfg Config, clock transport.Clock, bus *event.Bus, db *configdb.DB) *Ce
 		switchDead:    make(map[string]bool),
 		lastSeq:       make(map[transport.IP]uint64),
 		expectedMoves: make(map[transport.IP]time.Duration),
+		incidents:     make(map[string]uint64),
 		limbo:         make(map[transport.IP]time.Duration),
 		switchAgents:  make(map[string]transport.Addr),
 		snmpWiring:    make(map[string][]transport.IP),
@@ -183,6 +189,11 @@ func (c *Central) Activate(admin transport.Endpoint) {
 		c.nodeDead = make(map[string]bool)
 		c.switchDead = make(map[string]bool)
 		c.expectedMoves = make(map[transport.IP]time.Duration)
+		// Incident correlation state is regime-local (never journaled):
+		// incidents opened by a previous activation cannot be resolved by
+		// this one. The sequence keeps counting so ids stay unique per
+		// instance.
+		c.incidents = make(map[string]uint64)
 		if c.jr != nil {
 			// The journal fold is stale for the same reason, and left in
 			// place it would leak into the next standby snapshot.
@@ -301,6 +312,7 @@ func (c *Central) Active() bool { return c.active }
 
 func (c *Central) publish(e event.Event) {
 	e.Time = c.clock.Now()
+	c.stampIncident(&e)
 	c.bus.Publish(e)
 }
 
@@ -740,8 +752,19 @@ func (c *Central) sweepExpectedMoves() {
 		if now > deadline {
 			delete(c.expectedMoves, ip)
 			c.jMoveDone(ip)
+			node := ""
+			if a := c.adapters[ip]; a != nil {
+				node = a.member.Node
+			} else if c.db != nil {
+				if spec, ok := c.db.Adapter(ip); ok {
+					node = spec.Node
+				}
+			}
 			c.publish(event.Event{Kind: event.VerifyMismatch, Adapter: ip,
-				Detail: "planned move never completed"})
+				Node: node, Detail: "planned move never completed"})
+			// The expectation was abandoned, not correlated, so no
+			// NodeMoved will ever arrive to resolve the incident.
+			c.closeIncidentIfMoveDone(node)
 		}
 	}
 }

@@ -181,6 +181,7 @@ func (c *Central) MoveAdapter(ip transport.IP, vlan int, done func(error)) {
 		if err != nil {
 			delete(c.expectedMoves, ip)
 			c.jMoveDone(ip)
+			c.closeIncidentIfMoveDone(spec.Node)
 			done(fmt.Errorf("central: VLAN set for %v failed: %w", ip, err))
 			return
 		}

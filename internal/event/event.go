@@ -88,6 +88,12 @@ type Event struct {
 	Node    string       // subject node / switch name, when applicable
 	Group   transport.IP // AMG leader identifying the group, when applicable
 	Detail  string
+	// Incident is Central's incident correlator: every notification about
+	// the same ongoing disturbance (a node's failure and later recovery,
+	// a planned move's start and completion) carries the same nonzero id,
+	// so consumers — and the span stitcher — can tie the lifecycle
+	// together. Zero on events Central does not correlate.
+	Incident uint64
 	// Suppressed marks notifications Central withheld from external
 	// subscribers because the change was expected (a Central-initiated
 	// domain move). They remain visible for audit.
@@ -107,6 +113,9 @@ func (e Event) String() string {
 	}
 	if e.Detail != "" {
 		s += " (" + e.Detail + ")"
+	}
+	if e.Incident != 0 {
+		s += fmt.Sprintf(" incident=%d", e.Incident)
 	}
 	if e.Suppressed {
 		s += " [suppressed]"

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/serve"
+	"repro/internal/span"
 )
 
 // ChaosOptions parameterizes the chaos seed sweep (E15): N independent
@@ -120,6 +121,11 @@ func chaosRun(o ChaosOptions, seed int64, sched *check.Schedule) chaosOutcome {
 	}
 	engine := check.NewEngine(f)
 	engine.Attach(f.Trace)
+	// The span collector keeps every non-beacon record regardless of ring
+	// capacity, so the timeline audit after the schedule settles sees the
+	// whole run.
+	coll := span.NewCollector(nil)
+	coll.Attach("farm", f.Trace)
 	f.Start()
 	if _, ok := f.RunUntilStable(2 * time.Minute); !ok {
 		out.err = fmt.Errorf("initial stabilization failed")
@@ -153,6 +159,9 @@ func chaosRun(o ChaosOptions, seed int64, sched *check.Schedule) chaosOutcome {
 	// the balancer for Central's unfinished business.
 	if c := f.ActiveCentral(); c != nil && c.Stable() && plane.Drained() {
 		out.converge = append(out.converge, plane.Audit(f)...)
+		// Causal-timeline audit: every incident Central opened during the
+		// schedule must have closed into a complete, gap-free span.
+		out.converge = append(out.converge, span.Audit(coll.Records(), f)...)
 	}
 	return out
 }

@@ -393,12 +393,22 @@ func (f *Farm) RunUntilStable(timeout time.Duration) (time.Duration, bool) {
 
 // --- fault injection ---
 
+// traceFault leaves the ground-truth record a lifecycle span starts
+// from: the exact simulated instant the harness disturbed the farm,
+// before any daemon could notice.
+func (f *Farm) traceFault(node, detail string) {
+	f.Trace.Record(trace.Record{
+		T: f.Sched.Now(), Kind: trace.KFaultInjected, Node: node, Detail: detail,
+	})
+}
+
 // KillNode crashes a node: its daemon halts and all adapters go dark.
 func (f *Farm) KillNode(name string) error {
 	info, ok := f.Nodes[name]
 	if !ok {
 		return fmt.Errorf("farm: unknown node %q", name)
 	}
+	f.traceFault(name, "kill")
 	f.Daemons[name].Crash()
 	for _, ip := range info.Adapters {
 		f.adapters[ip].SetMode(netsim.FailStop)
@@ -412,6 +422,7 @@ func (f *Farm) RestartNode(name string) error {
 	if !ok {
 		return fmt.Errorf("farm: unknown node %q", name)
 	}
+	f.traceFault(name, "restart")
 	for _, ip := range info.Adapters {
 		f.adapters[ip].SetMode(netsim.Healthy)
 	}
@@ -425,6 +436,7 @@ func (f *Farm) FailAdapter(ip transport.IP, mode netsim.FailureMode) error {
 	if !ok {
 		return fmt.Errorf("farm: unknown adapter %v", ip)
 	}
+	f.traceFault(f.owner[ip], fmt.Sprintf("adapter %v mode %d", ip, mode))
 	a.SetMode(mode)
 	return nil
 }
@@ -436,6 +448,7 @@ func (f *Farm) KillSwitch(name string) error {
 	if sw == nil {
 		return fmt.Errorf("farm: unknown switch %q", name)
 	}
+	f.traceFault(name, "switch-off")
 	sw.SetUp(false)
 	return nil
 }
@@ -446,6 +459,7 @@ func (f *Farm) RestoreSwitch(name string) error {
 	if sw == nil {
 		return fmt.Errorf("farm: unknown switch %q", name)
 	}
+	f.traceFault(name, "switch-on")
 	sw.SetUp(true)
 	return nil
 }
@@ -491,6 +505,17 @@ func (f *Farm) MoveNodeToDomain(node, toDomain string, done func(error)) error {
 		}
 	})
 	return nil
+}
+
+// AdaptersOf lists the node's adapters (span.Topology): how the span
+// stitcher maps detection-side trace records, which name the suspected
+// adapter, back to the incident's subject node.
+func (f *Farm) AdaptersOf(node string) []transport.IP {
+	info, ok := f.Nodes[node]
+	if !ok {
+		return nil
+	}
+	return info.Adapters
 }
 
 // AdapterIPs lists every daemon-managed adapter in the farm.

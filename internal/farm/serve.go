@@ -121,6 +121,7 @@ func (f *Farm) SurpriseMoveNode(node, toDomain string) error {
 	default:
 		return fmt.Errorf("farm: node %q (role %s) is not movable", node, info.Role)
 	}
+	f.traceFault(node, "surprise-move "+toDomain)
 	for idx, vlan := range moves {
 		ip := info.Adapters[idx]
 		sw, port, ok := f.Fabric.Locate(ip)

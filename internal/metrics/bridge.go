@@ -85,6 +85,14 @@ func ObserveTrace(r *Registry) func(trace.Record) {
 			r.Inc("journal_replays_total")
 		case trace.KCentralActivated:
 			r.Inc("central_activations_total")
+		case trace.KFaultInjected:
+			r.Inc("faults_injected_total")
+		case trace.KNotifySent:
+			r.Inc("notifies_sent_total")
+		case trace.KIncidentClosed:
+			r.Inc("incidents_closed_total")
+		case trace.KServeClean:
+			r.Inc("serve_clean_ticks_total")
 		}
 	}
 }

@@ -99,24 +99,26 @@ func (b *Balancer) Apply(e event.Event) {
 		if e.Suppressed {
 			return
 		}
-		b.setDown(e.Node, "failure reported")
+		b.setDown(e.Node, "failure reported", e.Incident)
 	case event.MoveStarted:
-		b.setDown(e.Node, "draining for planned move")
+		b.setDown(e.Node, "draining for planned move", e.Incident)
 	case event.NodeMoved, event.AdapterRecovered, event.NodeRecovered, event.AdapterJoined:
 		// The node is alive (again) — re-resolve its domain, then put it
 		// back in rotation. Re-resolving on recovery too, not just on
 		// NodeMoved, heals the table when a move completed while the
 		// node was down and the join was reported as a plain recovery.
-		b.restore(e.Node)
+		b.restore(e.Node, e.Incident)
 	case event.VerifyMismatch:
 		if b.quarantine && e.Node != "" {
-			b.setDown(e.Node, "verification mismatch")
+			b.setDown(e.Node, "verification mismatch", e.Incident)
 		}
 	}
 }
 
-// setDown pulls a tracked backend out of rotation.
-func (b *Balancer) setDown(node, reason string) {
+// setDown pulls a tracked backend out of rotation. incident is the
+// triggering notification's correlator, stamped onto the trace record so
+// the span stitcher can tie the reroute to the incident it reacted to.
+func (b *Balancer) setDown(node, reason string, incident uint64) {
 	if _, tracked := b.nodeDomain[node]; !tracked {
 		return
 	}
@@ -124,13 +126,13 @@ func (b *Balancer) setDown(node, reason string) {
 		return
 	}
 	b.down[node] = reason
-	b.trace(trace.KServeBackendDown, node, reason)
+	b.trace(trace.KServeBackendDown, node, incident, b.nodeDomain[node]+" "+reason)
 	b.updateGauges()
 }
 
 // restore re-resolves the node's domain against the directory and
 // returns it to rotation.
-func (b *Balancer) restore(node string) {
+func (b *Balancer) restore(node string, incident uint64) {
 	believed, tracked := b.nodeDomain[node]
 	if !tracked {
 		return
@@ -142,7 +144,7 @@ func (b *Balancer) restore(node string) {
 	}
 	if _, wasDown := b.down[node]; wasDown {
 		delete(b.down, node)
-		b.trace(trace.KServeBackendUp, node, b.nodeDomain[node])
+		b.trace(trace.KServeBackendUp, node, incident, b.nodeDomain[node])
 	}
 	b.updateGauges()
 }
@@ -276,12 +278,15 @@ func (b *Balancer) Notifications() uint64 { return b.notifications }
 // MaxLag is the largest publication-to-delivery lag observed.
 func (b *Balancer) MaxLag() time.Duration { return b.maxLag }
 
-func (b *Balancer) trace(kind trace.Kind, node, detail string) {
+// trace records one routing-table transition; detail's first
+// space-separated field is the domain, and token is the incident id of
+// the notification that caused it (0 when untriggered or uncorrelated).
+func (b *Balancer) trace(kind trace.Kind, node string, token uint64, detail string) {
 	if b.tracer == nil {
 		return
 	}
 	b.tracer.Record(trace.Record{
-		T: b.clock.Now(), Kind: kind, Node: node, Detail: detail,
+		T: b.clock.Now(), Kind: kind, Node: node, Token: token, Detail: detail,
 	})
 }
 

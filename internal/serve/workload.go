@@ -43,6 +43,10 @@ type domainLoad struct {
 	expiry          []int64       // ring: sessions ending at tick (index)
 	tick            int64
 	carry           float64 // fractional request remainder across ticks
+	// wasBad remembers that the previous served tick had errors, so the
+	// first clean tick after an incident leaves a KServeClean record —
+	// the span stitcher's "first clean client request" milestone.
+	wasBad bool
 }
 
 // Workload drives the simulated client population. Each Tick it expires
@@ -175,8 +179,13 @@ func (w *Workload) tick() {
 		}
 		d.stats.Requests += uint64(n)
 		d.stats.Errors += uint64(bad)
-		if bad > 0 {
+		switch {
+		case bad > 0:
 			d.stats.ErrorSeconds += tickSecs * float64(bad) / float64(n)
+			d.wasBad = true
+		case d.wasBad:
+			d.wasBad = false
+			w.trace(trace.KServeClean, "", uint32(clampCount(n)), d.name)
 		}
 		if w.reg != nil {
 			w.reg.Add("serve_requests_total", uint64(n))

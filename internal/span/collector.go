@@ -1,0 +1,108 @@
+package span
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Collector is the farm-wide record sink the stitcher reads from. Each
+// source recorder gets a synchronous sink that copies matching records
+// into the collector's own buffer, so stitching does not depend on ring
+// capacity: a span's early records survive however much beacon traffic
+// follows. Records() merges all sources into one deterministic
+// chronology.
+//
+// In the simulator every daemon shares one recorder, so a single Attach
+// is the common case; the multi-source merge exists for real
+// deployments where each node ships its own stream.
+type Collector struct {
+	keep    func(trace.Record) bool
+	sources []*source
+}
+
+type source struct {
+	name string
+	recs []trace.Record
+}
+
+// DefaultFilter keeps every record except the beacon send/hear chatter,
+// which dominates volume and never carries a span milestone.
+func DefaultFilter(r trace.Record) bool {
+	return r.Kind != trace.KBeaconSent && r.Kind != trace.KBeaconHeard
+}
+
+// NewCollector builds a collector. keep selects which records are
+// retained (nil = DefaultFilter).
+func NewCollector(keep func(trace.Record) bool) *Collector {
+	if keep == nil {
+		keep = DefaultFilter
+	}
+	return &Collector{keep: keep}
+}
+
+// Attach subscribes the collector to a recorder. name labels the source
+// in merge tie-breaks; sources are ordered by Attach call order. The
+// simulator calls Attach once per farm (shared recorder) and never
+// concurrently with capture, so no locking is needed.
+func (c *Collector) Attach(name string, rec *trace.Recorder) {
+	src := &source{name: name}
+	c.sources = append(c.sources, src)
+	rec.AddSink(func(r trace.Record) {
+		if c.keep(r) {
+			src.recs = append(src.recs, r)
+		}
+	})
+}
+
+// Add injects records directly (tests, offline dump stitching). The
+// filter still applies.
+func (c *Collector) Add(name string, recs []trace.Record) {
+	src := &source{name: name}
+	for _, r := range recs {
+		if c.keep(r) {
+			src.recs = append(src.recs, r)
+		}
+	}
+	c.sources = append(c.sources, src)
+}
+
+// Len reports the number of retained records across all sources.
+func (c *Collector) Len() int {
+	n := 0
+	for _, s := range c.sources {
+		n += len(s.recs)
+	}
+	return n
+}
+
+// Records merges every source's stream into one slice ordered by
+// (T, source index, Seq) — deterministic for identical inputs
+// regardless of how many sources fed it.
+func (c *Collector) Records() []trace.Record {
+	type tagged struct {
+		rec trace.Record
+		src int
+	}
+	all := make([]tagged, 0, c.Len())
+	for i, s := range c.sources {
+		for _, r := range s.recs {
+			all = append(all, tagged{rec: r, src: i})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.rec.T != b.rec.T {
+			return a.rec.T < b.rec.T
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.rec.Seq < b.rec.Seq
+	})
+	out := make([]trace.Record, len(all))
+	for i, t := range all {
+		out[i] = t.rec
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package span
+
+import (
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Observe feeds the stitched spans into the registry's latency
+// histograms: one `span_stage_<name>` series per attributed stage and
+// `span_total` for the end-to-end latency of complete spans. This is
+// how the causal timeline reaches the Prometheus surface — quantiles
+// over many incidents rather than one waterfall.
+func Observe(reg *metrics.Registry, spans []*Span) {
+	if reg == nil {
+		return
+	}
+	for _, sp := range spans {
+		for _, sd := range sp.StageDurations() {
+			// Stage names use dashes ("2pc-prepare"); metric names can't.
+			name := strings.ReplaceAll(sd.Stage.String(), "-", "_")
+			reg.ObserveDuration("span_stage_"+name, sd.D)
+		}
+		if sp.Complete() && len(sp.Milestones) > 1 {
+			reg.ObserveDuration("span_total", sp.Total())
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package span
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// fakeTopo maps node names to adapters for stitcher tests.
+type fakeTopo map[string][]transport.IP
+
+func (t fakeTopo) AdaptersOf(node string) []transport.IP { return t[node] }
+
+func ip(s string) transport.IP {
+	v, ok := transport.ParseIP(s)
+	if !ok {
+		panic("bad ip " + s)
+	}
+	return v
+}
+
+// failureRecords builds a synthetic but shape-accurate record stream
+// for one node-failure incident: fault → suspicion → probe → verdict →
+// 2PC → view → report → notify → reroute → clean.
+func failureRecords() []trace.Record {
+	suspect := ip("10.0.0.5")
+	leader := ip("10.0.0.1")
+	sec := func(n int) time.Duration { return time.Duration(n) * time.Second }
+	return []trace.Record{
+		{Seq: 1, T: sec(10), Kind: trace.KFaultInjected, Node: "web-3", Detail: "kill"},
+		{Seq: 2, T: sec(12), Kind: trace.KSuspicionRaised, Node: "web-1", Self: leader, Peer: suspect, Detail: "silent"},
+		{Seq: 3, T: sec(12), Kind: trace.KProbeSent, Node: "web-1", Self: leader, Peer: suspect, Token: 77},
+		{Seq: 4, T: sec(13), Kind: trace.KVerdictDead, Node: "web-1", Self: leader, Peer: suspect, Token: 77},
+		{Seq: 5, T: sec(13), Kind: trace.KPrepareSent, Node: "web-1", Self: leader, Group: leader, Version: 4, Token: 9, Count: 2},
+		{Seq: 6, T: sec(14), Kind: trace.KCommitSent, Node: "web-1", Self: leader, Group: leader, Version: 4, Token: 9, Count: 2},
+		{Seq: 7, T: sec(14), Kind: trace.KViewCommit, Node: "web-1", Self: leader, Group: leader, Version: 4, Count: 2},
+		{Seq: 8, T: sec(15), Kind: trace.KReportApplied, Node: "ctl-0", Peer: leader, Group: leader, Version: 4, Token: 3, Detail: "delta"},
+		{Seq: 9, T: sec(15), Kind: trace.KNotifySent, Node: "ctl-0", Token: 1, Detail: "node-failed web-3"},
+		{Seq: 10, T: sec(16), Kind: trace.KServeBackendDown, Node: "web-3", Token: 1, Detail: "acme failure reported"},
+		{Seq: 11, T: sec(17), Kind: trace.KServeClean, Count: 40, Detail: "acme"},
+		{Seq: 12, T: sec(30), Kind: trace.KNotifySent, Node: "ctl-0", Token: 1, Detail: "node-recovered web-3"},
+		{Seq: 13, T: sec(30), Kind: trace.KIncidentClosed, Node: "ctl-0", Token: 1, Detail: "web-3"},
+	}
+}
+
+func TestStitchFailureChain(t *testing.T) {
+	topo := fakeTopo{"web-3": {ip("10.0.0.5"), ip("10.0.0.6")}}
+	spans := Stitch(failureRecords(), topo)
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Kind != KindFailure || sp.Subject != "web-3" || sp.Incident != 1 {
+		t.Fatalf("bad span identity: %+v", sp)
+	}
+	if !sp.Closed || sp.ClosedAt != 30*time.Second {
+		t.Fatalf("span not closed correctly: closed=%v at %v", sp.Closed, sp.ClosedAt)
+	}
+	if !sp.Complete() {
+		t.Fatalf("span incomplete, missing %v", sp.Missing)
+	}
+	var got []Stage
+	for _, m := range sp.Milestones {
+		got = append(got, m.Stage)
+	}
+	want := []Stage{StFault, StSuspicion, StProbe, StVerdict, StPrepare,
+		StCommit, StView, StReport, StNotify, StReroute, StClean}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("milestones %v, want %v", got, want)
+	}
+	if sp.Domain != "acme" {
+		t.Fatalf("domain %q, want acme", sp.Domain)
+	}
+	if sp.Total() != 7*time.Second {
+		t.Fatalf("total %v, want 7s", sp.Total())
+	}
+	var sum time.Duration
+	for _, sd := range sp.StageDurations() {
+		sum += sd.D
+	}
+	if sum != sp.Total() {
+		t.Fatalf("stage durations sum %v != total %v", sum, sp.Total())
+	}
+}
+
+func TestAuditCatchesUnclosedIncident(t *testing.T) {
+	recs := failureRecords()
+	// Drop the close: the incident never resolves.
+	recs = recs[:len(recs)-2]
+	topo := fakeTopo{"web-3": {ip("10.0.0.5")}}
+	findings := Audit(recs, topo)
+	if len(findings) != 1 || !strings.Contains(findings[0], "never closed") {
+		t.Fatalf("findings = %v, want one never-closed finding", findings)
+	}
+	// A Central failover after the open exempts the orphan.
+	recs = append(recs, trace.Record{
+		Seq: 20, T: 40 * time.Second, Kind: trace.KCentralActivated, Node: "ctl-1",
+	})
+	if findings := Audit(recs, topo); len(findings) != 0 {
+		t.Fatalf("failover should exempt the orphan, got %v", findings)
+	}
+}
+
+func TestStitchMoveChain(t *testing.T) {
+	sec := func(n int) time.Duration { return time.Duration(n) * time.Second }
+	recs := []trace.Record{
+		{Seq: 1, T: sec(5), Kind: trace.KNotifySent, Node: "ctl-0", Token: 2, Detail: "move-started web-7"},
+		{Seq: 2, T: sec(5), Kind: trace.KServeBackendDown, Node: "web-7", Token: 2, Detail: "globex draining for planned move"},
+		{Seq: 3, T: sec(9), Kind: trace.KViewCommit, Node: "web-7", Self: ip("10.0.1.2"), Group: ip("10.0.1.2"), Version: 1, Count: 3},
+		{Seq: 4, T: sec(10), Kind: trace.KReportApplied, Node: "ctl-0", Group: ip("10.0.1.2"), Version: 1, Token: 8},
+		{Seq: 5, T: sec(11), Kind: trace.KNotifySent, Node: "ctl-0", Token: 2, Detail: "node-moved web-7"},
+		{Seq: 6, T: sec(11), Kind: trace.KIncidentClosed, Node: "ctl-0", Token: 2, Detail: "web-7"},
+		{Seq: 7, T: sec(11), Kind: trace.KServeBackendUp, Node: "web-7", Token: 2, Detail: "acme"},
+	}
+	spans := Stitch(recs, nil)
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Kind != KindPlannedMove || !sp.Closed || !sp.Complete() {
+		t.Fatalf("bad move span: %v missing=%v", sp, sp.Missing)
+	}
+	var got []Stage
+	for _, m := range sp.Milestones {
+		got = append(got, m.Stage)
+	}
+	want := []Stage{StNotify, StReroute, StView, StReport, StMoveDone, StRestore}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("milestones %v, want %v", got, want)
+	}
+	if findings := Audit(recs, nil); len(findings) != 0 {
+		t.Fatalf("audit findings on a clean move: %v", findings)
+	}
+}
+
+func TestStitchLeaderChange(t *testing.T) {
+	sec := func(n int) time.Duration { return time.Duration(n) * time.Second }
+	succ := ip("10.0.2.9")
+	recs := []trace.Record{
+		{Seq: 1, T: sec(3), Kind: trace.KLeaderTakeover, Node: "web-2", Self: succ, Group: ip("10.0.2.1"), Version: 6},
+		{Seq: 2, T: sec(3), Kind: trace.KPrepareSent, Node: "web-2", Self: succ, Group: succ, Version: 7, Token: 4},
+		{Seq: 3, T: sec(4), Kind: trace.KCommitSent, Node: "web-2", Self: succ, Group: succ, Version: 7, Token: 4},
+		{Seq: 4, T: sec(4), Kind: trace.KViewCommit, Node: "web-2", Self: succ, Group: succ, Version: 7, Count: 2},
+		{Seq: 5, T: sec(5), Kind: trace.KReportApplied, Node: "ctl-0", Group: succ, Version: 7, Token: 2},
+	}
+	spans := Stitch(recs, nil)
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Kind != KindLeaderChange || sp.Incident != 0 || !sp.Complete() || !sp.Closed {
+		t.Fatalf("bad leader-change span: %v missing=%v", sp, sp.Missing)
+	}
+	if sp.Total() != 2*time.Second {
+		t.Fatalf("total %v, want 2s", sp.Total())
+	}
+}
+
+func TestCollectorMergeDeterministic(t *testing.T) {
+	mk := func() *Collector {
+		c := NewCollector(nil)
+		c.Add("a", []trace.Record{
+			{Seq: 1, T: 2 * time.Second, Kind: trace.KOrphaned, Node: "n1"},
+			{Seq: 2, T: 1 * time.Second, Kind: trace.KBeaconSent, Node: "n1"}, // filtered
+			{Seq: 3, T: 3 * time.Second, Kind: trace.KViewCommit, Node: "n1"},
+		})
+		c.Add("b", []trace.Record{
+			{Seq: 1, T: 2 * time.Second, Kind: trace.KFormed, Node: "n2"},
+		})
+		return c
+	}
+	r1, r2 := mk().Records(), mk().Records()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("merge not deterministic")
+	}
+	if len(r1) != 3 {
+		t.Fatalf("got %d records, want 3 (beacon filtered)", len(r1))
+	}
+	// Same T: source order (a before b) breaks the tie.
+	if r1[0].Node != "n1" || r1[1].Node != "n2" {
+		t.Fatalf("tie-break wrong: %v", r1)
+	}
+	if r1[2].Kind != trace.KViewCommit {
+		t.Fatalf("order wrong: %v", r1)
+	}
+}
+
+func TestCollectorAttach(t *testing.T) {
+	rec := trace.New(16)
+	c := NewCollector(nil)
+	c.Attach("farm", rec)
+	rec.Record(trace.Record{T: time.Second, Kind: trace.KBeaconSent})
+	rec.Record(trace.Record{T: 2 * time.Second, Kind: trace.KOrphaned, Node: "n1"})
+	got := c.Records()
+	if len(got) != 1 || got[0].Kind != trace.KOrphaned {
+		t.Fatalf("collector saw %v, want just the orphan record", got)
+	}
+}
+
+func TestObserveFeedsHistograms(t *testing.T) {
+	topo := fakeTopo{"web-3": {ip("10.0.0.5"), ip("10.0.0.6")}}
+	spans := Stitch(failureRecords(), topo)
+	reg := metrics.NewRegistry()
+	Observe(reg, spans)
+	var sb strings.Builder
+	reg.WriteProm(&sb)
+	text := sb.String()
+	for _, name := range []string{
+		"span_stage_suspicion", "span_stage_2pc_prepare", "span_stage_notify",
+		"span_stage_first_clean", "span_total",
+	} {
+		if !strings.Contains(text, name) {
+			t.Fatalf("prometheus text missing %s:\n%s", name, text)
+		}
+	}
+}
+
+func TestStageNamesExhaustive(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(1); s < stageMax; s++ {
+		name := s.String()
+		if strings.HasPrefix(name, "Stage(") {
+			t.Fatalf("stage %d has no name", s)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate stage name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -115,6 +115,22 @@ const (
 	// against ground truth as errors (routed to Node, or unrouted when
 	// Node is empty).
 	KServeMisroute
+	// KFaultInjected: the harness injected a fault (or repair) against
+	// Node — the ground-truth instant a lifecycle span starts from.
+	// Detail names the fault ("kill", "restart", "surprise-move <dom>").
+	KFaultInjected
+	// KNotifySent: Central published an incident-correlated notification.
+	// Node is the hosting Central's node, Token the incident id, and
+	// Detail is "<event-kind> <subject>" (the subject node or switch).
+	KNotifySent
+	// KIncidentClosed: Central resolved an incident — the subject
+	// recovered, completed its move, or its switch came back. Token is
+	// the incident id, Detail the subject.
+	KIncidentClosed
+	// KServeClean: a domain's request stream went clean again — the first
+	// tick with zero errors after a tick that had some. Detail is the
+	// domain, Count the tick's request count.
+	KServeClean
 
 	kindMax
 )
@@ -153,6 +169,10 @@ var kindNames = [...]string{
 	KServeBackendDown:   "serve-backend-down",
 	KServeBackendUp:     "serve-backend-up",
 	KServeMisroute:      "serve-misroute",
+	KFaultInjected:      "fault-injected",
+	KNotifySent:         "notify-sent",
+	KIncidentClosed:     "incident-closed",
+	KServeClean:         "serve-clean",
 }
 
 func (k Kind) String() string {
@@ -287,9 +307,17 @@ type Recorder struct {
 	total uint64   // records ever captured; buf index = (seq-1) % cap
 	sinks []func(Record)
 
-	dumpMask uint64 // bitmask of Kinds triggering auto-dump
+	dumpMask kindSet // bitset of Kinds triggering auto-dump
 	dumpFn   func(trigger Record, recent []Record)
 }
+
+// kindSet is a bitset over the whole Kind space. Kind is uint8, so four
+// words cover every possible value — a single uint64 mask silently
+// ignored kinds >= 64, which the kind table has since outgrown.
+type kindSet [4]uint64
+
+func (s *kindSet) add(k Kind)      { s[k>>6] |= 1 << (k & 63) }
+func (s *kindSet) has(k Kind) bool { return s[k>>6]&(1<<(k&63)) != 0 }
 
 // DefaultCapacity is the ring size used when New gets cap <= 0.
 const DefaultCapacity = 8192
@@ -370,11 +398,9 @@ func (r *Recorder) AutoDump(fn func(trigger Record, recent []Record), kinds ...K
 	if len(kinds) == 0 {
 		kinds = FailureKinds()
 	}
-	var mask uint64
+	var mask kindSet
 	for _, k := range kinds {
-		if k < 64 {
-			mask |= 1 << k
-		}
+		mask.add(k)
 	}
 	r.mu.Lock()
 	r.dumpMask = mask
@@ -395,7 +421,7 @@ func (r *Recorder) Record(rec Record) {
 	sinks := r.sinks
 	var dump func(Record, []Record)
 	var recent []Record
-	if r.dumpFn != nil && rec.Kind < 64 && r.dumpMask&(1<<rec.Kind) != 0 {
+	if r.dumpFn != nil && r.dumpMask.has(rec.Kind) {
 		dump = r.dumpFn
 		recent = r.snapshotLocked()
 	}
