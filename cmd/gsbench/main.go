@@ -8,11 +8,20 @@
 //	              [-partition] [-failover] [-seed-bug] [-no-shrink] [-o dir]
 //	gsbench serve [-quick] [-seed N] [-sessions R] [-parallel N] [-json path]
 //	gsbench lag   [-quick] [-seed N] [-trials N] [-parallel N] [-json path]
+//	gsbench scale [-quick] [-shards K] [-json path]
+//	gsbench scaleb [-quick] [-json path]
 //
 // With no arguments it runs everything. Experiments: fig5, formula1,
 // beaconloss, detector, hbload, failover, move, merge, centralload,
 // verify, tb0, journal, phases, trace, scale. -quick runs scaled-down
 // variants (seconds instead of minutes).
+//
+// The scale subcommand runs E14; with -shards K it instead runs the zoned
+// multi-shard smoke (shard counts 1 and K, cross-shard determinism
+// checked). The scaleb subcommand runs the full E14b sweep: zoned farms
+// at 10k/50k/100k adapters across shard counts 1/2/4/8, asserting that
+// every shard count fires identical events and converges to an identical
+// topology hash, and recording wall-clock speedup per shard count.
 //
 // The chaos subcommand sweeps seed-derived fault schedules with the
 // protocol-invariant engine attached, shrinks any failing schedule to a
@@ -228,6 +237,67 @@ func lagMain(args []string) {
 	}
 }
 
+// scaleMain is the `gsbench scale` subcommand: the E14 uniform sweep, or
+// — with -shards — the zoned multi-shard smoke (baseline plus the given
+// shard count, determinism checked, results merged into the BENCH file).
+func scaleMain(args []string) {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "run the scaled-down variant")
+	shards := fs.Int("shards", 0, "run the zoned sharded smoke at this shard count (0 = legacy uniform sweep)")
+	jsonPath := fs.String("json", "BENCH_scale.json", "raw results path (\"\" disables)")
+	_ = fs.Parse(args)
+
+	start := time.Now()
+	var tab *exp.Table
+	var err error
+	if *shards > 0 {
+		o := exp.QuickScaleB(*shards)
+		if !*quick {
+			o = exp.DefaultScaleB()
+			o.Shards = []int{1, *shards}
+		}
+		o.JSONPath = *jsonPath
+		tab, err = exp.ScaleB(o)
+	} else {
+		o := exp.DefaultScale()
+		o.JSONPath = *jsonPath
+		if *quick {
+			o.Adapters = []int{100, 250}
+			o.Trials = 1
+		}
+		tab, err = exp.Scale(o)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbench: scale: %v\n", err)
+		os.Exit(1)
+	}
+	tab.Fprint(os.Stdout)
+	fmt.Printf("(scale wall time: %.1fs)\n", time.Since(start).Seconds())
+}
+
+// scalebMain is the `gsbench scaleb` subcommand: the full E14b sweep —
+// 10k/50k/100k adapters across shard counts with bit-identical replay
+// checked at every point.
+func scalebMain(args []string) {
+	fs := flag.NewFlagSet("scaleb", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "run the scaled-down variant (one small point)")
+	jsonPath := fs.String("json", "BENCH_scale.json", "raw results path (\"\" disables)")
+	_ = fs.Parse(args)
+	o := exp.DefaultScaleB()
+	if *quick {
+		o = exp.QuickScaleB(4)
+	}
+	o.JSONPath = *jsonPath
+	start := time.Now()
+	tab, err := exp.ScaleB(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbench: scaleb: %v\n", err)
+		os.Exit(1)
+	}
+	tab.Fprint(os.Stdout)
+	fmt.Printf("(scaleb wall time: %.1fs)\n", time.Since(start).Seconds())
+}
+
 // chaosMain is the `gsbench chaos` subcommand: the E15 seed sweep with
 // its own flag set (invoked before the experiment-runner flags parse).
 func chaosMain(args []string) {
@@ -271,6 +341,14 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "lag" {
 		lagMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scale" {
+		scaleMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scaleb" {
+		scalebMain(os.Args[2:])
 		return
 	}
 	quick := flag.Bool("quick", false, "run scaled-down variants")

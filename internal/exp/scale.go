@@ -2,15 +2,15 @@ package exp
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
+	"hash"
 	"hash/fnv"
-	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/central"
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/transport"
@@ -93,21 +93,15 @@ func ScaleFarm(o ScaleOptions, adapters int, seed int64) (*farm.Farm, error) {
 	})
 }
 
-// TopologyHash digests Central's discovered view — every group leader and
-// its sorted members — so two runs can be compared for exact agreement
-// without retaining either view.
-func TopologyHash(f *farm.Farm) uint64 {
-	c := f.ActiveCentral()
-	if c == nil {
-		return 0
-	}
+// hashGroups folds one Central's discovered view — every group leader and
+// its sorted members, zero-separated — into h.
+func hashGroups(h hash.Hash64, c *central.Central) {
 	groups := c.Groups()
 	leaders := make([]transport.IP, 0, len(groups))
 	for l := range groups {
 		leaders = append(leaders, l)
 	}
 	sort.Slice(leaders, func(i, j int) bool { return leaders[i] < leaders[j] })
-	h := fnv.New64a()
 	var buf [4]byte
 	put := func(ip transport.IP) {
 		binary.BigEndian.PutUint32(buf[:], uint32(ip))
@@ -120,6 +114,28 @@ func TopologyHash(f *farm.Farm) uint64 {
 		}
 		buf = [4]byte{} // group separator
 		h.Write(buf[:])
+	}
+}
+
+// TopologyHash digests the active Central's discovered view so two runs
+// can be compared for exact agreement without retaining either view.
+func TopologyHash(f *farm.Farm) uint64 {
+	c := f.ActiveCentral()
+	if c == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	hashGroups(h, c)
+	return h.Sum64()
+}
+
+// TopologyHashAll digests every hosted Central's view in node build order
+// — the whole-farm topology fingerprint of a zoned farm, where each zone
+// discovers its own groups.
+func TopologyHashAll(f *farm.Farm) uint64 {
+	h := fnv.New64a()
+	for _, c := range f.HostingCentrals() {
+		hashGroups(h, c)
 	}
 	return h.Sum64()
 }
@@ -137,7 +153,7 @@ func ScaleTrialRun(o ScaleOptions, adapters int, seed int64) (ScaleTrial, error)
 	if !ok {
 		return ScaleTrial{}, fmt.Errorf("exp: scale run (adapters=%d seed=%d) never stabilized", adapters, seed)
 	}
-	fired := f.Sched.Fired()
+	fired := f.Fired()
 	return ScaleTrial{
 		Seed:         seed,
 		StableSecs:   at.Seconds(),
@@ -234,14 +250,10 @@ func Scale(o ScaleOptions) (*Table, error) {
 	t.Note("allocs/ev and B/ev are process-wide ReadMemStats deltas over the whole batch: formation-time decode/build")
 	t.Note("dominates the byte count, the steady state runs allocation-free (see DESIGN.md §9)")
 	if o.JSONPath != "" {
-		blob, err := json.MarshalIndent(points, "", "  ")
-		if err != nil {
+		if err := mergeBenchJSON(o.JSONPath, "e14", points); err != nil {
 			return nil, err
 		}
-		if err := os.WriteFile(o.JSONPath, append(blob, '\n'), 0o644); err != nil {
-			return nil, err
-		}
-		t.Note("raw points written to %s", o.JSONPath)
+		t.Note("raw points written to %s (key e14)", o.JSONPath)
 	}
 	return t, nil
 }

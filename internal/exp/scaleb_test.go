@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// scaledDownB is a miniature E14b configuration: 8 zones × 10 nodes × 2
+// adapters, small enough to sweep every shard count in a unit test.
+func scaledDownB() ScaleBOptions {
+	o := DefaultScaleB()
+	o.Adapters = []int{160}
+	o.ZoneNodes = 10
+	o.Timeout = 2 * time.Minute
+	return o
+}
+
+// TestScaleBCrossShardDeterminism is the tentpole contract at experiment
+// level: one seed, one zoned config, shard counts 1/2/4/8 — identical
+// events fired, identical whole-farm topology hash, identical
+// stabilization instant. Shard count 4 additionally re-runs with parallel
+// worker-goroutine windows, which must change nothing.
+func TestScaleBCrossShardDeterminism(t *testing.T) {
+	o := scaledDownB()
+	run := func(shards int, parallel bool) ScaleBCell {
+		t.Helper()
+		f, err := ScaleBFarm(o, o.Adapters[0], shards, o.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Shards != nil {
+			f.Shards.SetParallel(parallel)
+			defer f.Shards.Stop()
+		}
+		f.Start()
+		zones := o.Adapters[0] / (o.ZoneNodes * o.ZoneAdapters)
+		at, ok := f.RunUntilAllStable(zones, o.Timeout)
+		if !ok {
+			t.Fatalf("shards=%d parallel=%v never stabilized", shards, parallel)
+		}
+		return ScaleBCell{Shards: shards, Fired: f.Fired(), TopoHash: TopologyHashAll(f), StableSecs: at.Seconds()}
+	}
+	base := run(1, false)
+	if base.Fired == 0 || base.TopoHash == 0 {
+		t.Fatalf("degenerate baseline: %+v", base)
+	}
+	for _, k := range []int{2, 4, 8} {
+		got := run(k, false)
+		if got.Fired != base.Fired || got.TopoHash != base.TopoHash || got.StableSecs != base.StableSecs {
+			t.Errorf("shards=%d diverged: fired=%d hash=%016x stable=%v, want fired=%d hash=%016x stable=%v",
+				k, got.Fired, got.TopoHash, got.StableSecs, base.Fired, base.TopoHash, base.StableSecs)
+		}
+	}
+	par := run(4, true)
+	if par.Fired != base.Fired || par.TopoHash != base.TopoHash {
+		t.Errorf("shards=4 parallel diverged: fired=%d hash=%016x, want fired=%d hash=%016x",
+			par.Fired, par.TopoHash, base.Fired, base.TopoHash)
+	}
+}
+
+// loadRecordedE14 reads the committed BENCH_scale.json, accepting both the
+// keyed layout ({"e14": [...], ...}) and the legacy bare array.
+func loadRecordedE14(t *testing.T) []ScalePoint {
+	t.Helper()
+	blob, err := os.ReadFile("../../BENCH_scale.json")
+	if err != nil {
+		t.Skipf("no recorded benchmark file: %v", err)
+	}
+	var doc struct {
+		E14 []ScalePoint `json:"e14"`
+	}
+	if err := json.Unmarshal(blob, &doc); err == nil && len(doc.E14) > 0 {
+		return doc.E14
+	}
+	var legacy []ScalePoint
+	if err := json.Unmarshal(blob, &legacy); err != nil {
+		t.Fatalf("BENCH_scale.json unparseable in either layout: %v", err)
+	}
+	return legacy
+}
+
+// TestScaleReplaysRecordedRun pins the degenerate kernel to history: the
+// E14 500-adapter cell re-run today must reproduce the committed events
+// fired and topology hash exactly. This is what makes "shards=1 is the
+// legacy kernel, bit for bit" falsifiable.
+func TestScaleReplaysRecordedRun(t *testing.T) {
+	points := loadRecordedE14(t)
+	var rec *ScalePoint
+	for i := range points {
+		if points[i].Adapters == 500 {
+			rec = &points[i]
+		}
+	}
+	if rec == nil || len(rec.Trials) == 0 {
+		t.Skip("no recorded 500-adapter point")
+	}
+	o := DefaultScale()
+	for _, want := range rec.Trials {
+		got, err := ScaleTrialRun(o, rec.Adapters, want.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fired != want.Fired || got.TopoHash != want.TopoHash {
+			t.Errorf("seed %d: fired=%d hash=%d, recorded fired=%d hash=%d",
+				want.Seed, got.Fired, got.TopoHash, want.Fired, want.TopoHash)
+		}
+	}
+}
+
+// TestMergeBenchJSON covers the keyed writer: legacy array adoption, key
+// replacement, and preservation of sibling keys.
+func TestMergeBenchJSON(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	if err := os.WriteFile(path, []byte(`[{"adapters": 500}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeBenchJSON(path, "e14b", map[string]int{"host_cpus": 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeBenchJSON(path, "e14b", map[string]int{"host_cpus": 1}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		E14 []struct {
+			Adapters int `json:"adapters"`
+		} `json:"e14"`
+		E14b struct {
+			HostCPUs int `json:"host_cpus"`
+		} `json:"e14b"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.E14) != 1 || doc.E14[0].Adapters != 500 {
+		t.Errorf("legacy e14 array not adopted: %s", blob)
+	}
+	if doc.E14b.HostCPUs != 1 {
+		t.Errorf("e14b not replaced: %s", blob)
+	}
+}

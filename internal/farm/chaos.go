@@ -20,8 +20,13 @@ var (
 	_ check.Context = (*Farm)(nil)
 )
 
-// Now returns the current virtual time.
-func (f *Farm) Now() time.Duration { return f.Sched.Now() }
+// Now returns the current virtual time under either kernel.
+func (f *Farm) Now() time.Duration {
+	if f.Shards != nil {
+		return f.Shards.Now()
+	}
+	return f.Sched.Now()
+}
 
 // After schedules fn on the virtual clock.
 func (f *Farm) After(d time.Duration, fn func()) { f.Sched.AfterFunc(d, fn) }

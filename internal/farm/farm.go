@@ -9,6 +9,7 @@ package farm
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/central"
@@ -26,6 +27,20 @@ import (
 
 // AdminVLAN is the administrative domain's VLAN id.
 const AdminVLAN = 1
+
+// BackboneVLAN is the inter-zone backbone segment of zoned farms: each
+// zone's gateway node carries an extra adapter here, forming one
+// farm-spanning AMG whose traffic is the only thing that crosses shard
+// boundaries.
+const BackboneVLAN = 2
+
+// zoneAdminVLAN returns zone z's administrative VLAN. Zones get disjoint
+// 64-wide VLAN blocks well above the domain/uniform ranges.
+func zoneAdminVLAN(z int) int { return 4096 + z*64 }
+
+// zoneDataVLAN returns the VLAN of zone z's data segment a (1-based
+// adapter index; a < 64).
+func zoneDataVLAN(z, a int) int { return 4096 + z*64 + a }
 
 // DomainSpec describes one hosted customer domain.
 type DomainSpec struct {
@@ -55,6 +70,33 @@ type Spec struct {
 	// (adapter 0 administrative) — the Figure 5 workload.
 	UniformNodes    int
 	UniformAdapters int
+
+	// Zones, when > 0, builds the zoned shape for large-scale sweeps:
+	// Zones independent zones of ZoneNodes nodes × ZoneAdapters adapters,
+	// each zone with its own admin VLAN (so it forms its own AMGs, elects
+	// its own leader and hosts its own Central against a zone-local
+	// configdb), plus each zone's node 0 carrying one extra adapter on the
+	// shared backbone segment. Broadcast domains stay zone-sized, so total
+	// formation cost grows linearly in zones instead of quadratically in
+	// farm size — the only shape where 100k adapters is reachable.
+	Zones        int
+	ZoneNodes    int
+	ZoneAdapters int
+
+	// Shards > 1 runs a zoned farm on the sharded kernel, zone i (all its
+	// nodes, switches and segments) on shard i%Shards. Only the backbone
+	// crosses shards, so the lookahead window is BackboneLatency.
+	Shards int
+	// BackboneLatency is the backbone link latency (default 1ms). In a
+	// sharded run it is the conservative lookahead, so it must be at least
+	// as large as every cross-shard link's base latency.
+	BackboneLatency time.Duration
+	// Spread adds a deterministic per-(src,dst) latency spread in
+	// [0, Spread) on every segment — jitter's decorrelation without RNG
+	// draws, so results stay identical under any shard count. Zoned farms
+	// default it to 300µs (and default Jitter to zero, since RNG jitter
+	// would diverge between shard counts).
+	Spread time.Duration
 
 	// NodesPerSwitch packs nodes onto switches (default 16).
 	NodesPerSwitch int
@@ -98,12 +140,22 @@ type NodeInfo struct {
 
 // Farm is a built, runnable simulated farm.
 type Farm struct {
-	Spec    Spec
-	Sched   *sim.Scheduler
-	Net     *netsim.Network
-	Fabric  *switchsim.Fabric
-	DB      *configdb.DB
-	Bus     *event.Bus
+	Spec Spec
+	// Sched is the event kernel of a single-threaded farm; nil when the
+	// farm runs sharded (use Shards, or the kernel-agnostic Now/Fired/
+	// RunFor helpers).
+	Sched *sim.Scheduler
+	// Shards is the sharded kernel when Spec.Shards > 1, else nil.
+	Shards *sim.Shards
+	Net    *netsim.Network
+	Fabric *switchsim.Fabric
+	DB     *configdb.DB
+	Bus    *event.Bus
+	// DBs/Buses hold the per-zone configdb and event bus of zoned farms
+	// (zone Centrals may run on different shards, so they cannot share
+	// one mutable DB). DB/Bus alias zone 0's for convenience.
+	DBs     []*configdb.DB
+	Buses   []*event.Bus
 	Metrics *metrics.Registry
 	// Trace is the farm-wide flight recorder. Always present; capture is
 	// enabled only when Spec.Trace is set (a disabled recorder costs one
@@ -119,6 +171,7 @@ type Farm struct {
 	adapters map[transport.IP]*netsim.Adapter
 	owner    map[transport.IP]string // adapter -> owning node
 	order    []string                // node build order (deterministic)
+	shardOf  map[string]int          // node (and switch) -> home shard
 	started  bool
 }
 
@@ -136,14 +189,40 @@ func Build(spec Spec) (*Farm, error) {
 	if spec.Latency == 0 {
 		spec.Latency = 200 * time.Microsecond
 	}
-	if spec.Jitter == 0 {
+	if spec.Jitter == 0 && spec.Zones == 0 {
+		// Zoned farms default to zero jitter: RNG-drawn jitter would make
+		// single- and multi-shard runs diverge. Spread fills jitter's
+		// decorrelation role deterministically.
 		spec.Jitter = 300 * time.Microsecond
+	}
+	if spec.Zones > 0 {
+		if spec.ZoneNodes <= 0 || spec.ZoneAdapters <= 0 {
+			return nil, fmt.Errorf("farm: zoned spec needs ZoneNodes and ZoneAdapters")
+		}
+		if spec.ZoneAdapters > 63 {
+			return nil, fmt.Errorf("farm: ZoneAdapters %d exceeds the zone VLAN block", spec.ZoneAdapters)
+		}
+		if spec.Spread == 0 {
+			spec.Spread = 300 * time.Microsecond
+		}
+		if spec.BackboneLatency == 0 {
+			spec.BackboneLatency = time.Millisecond
+		}
+	}
+	if spec.Shards > 1 {
+		if spec.Zones <= 0 {
+			return nil, fmt.Errorf("farm: sharded farms require the zoned shape (Zones > 0)")
+		}
+		if spec.Trace {
+			return nil, fmt.Errorf("farm: the flight recorder is not shard-safe; disable Trace for sharded runs")
+		}
+		if spec.BackboneLatency < spec.Latency {
+			return nil, fmt.Errorf("farm: backbone latency %v below zone latency %v would break the lookahead bound", spec.BackboneLatency, spec.Latency)
+		}
 	}
 	f := &Farm{
 		Spec:     spec,
-		Sched:    sim.NewScheduler(spec.Seed),
 		Fabric:   switchsim.NewFabric(),
-		DB:       configdb.New(),
 		Bus:      event.NewBus(spec.RecordEvents),
 		Metrics:  metrics.NewRegistry(),
 		Nodes:    make(map[string]*NodeInfo),
@@ -152,17 +231,47 @@ func Build(spec Spec) (*Farm, error) {
 		Journals: make(map[string]*journal.Journal),
 		adapters: make(map[transport.IP]*netsim.Adapter),
 		owner:    make(map[transport.IP]string),
+		shardOf:  make(map[string]int),
 	}
-	f.Net = netsim.New(f.Sched, f.Fabric)
-	f.Net.SetDefaultProfile(netsim.LinkProfile{Loss: spec.Loss, Latency: spec.Latency, Jitter: spec.Jitter})
-	f.Metrics.Attach(f.Net)
+	if spec.Shards > 1 {
+		f.Shards = sim.NewShards(spec.Seed, spec.Shards, spec.BackboneLatency)
+		f.Net = netsim.NewSharded(f.Shards, f.Fabric, func(node string) int { return f.shardOf[node] })
+	} else {
+		f.Sched = sim.NewScheduler(spec.Seed)
+		f.Net = netsim.New(f.Sched, f.Fabric)
+	}
+	f.Net.SetDefaultProfile(netsim.LinkProfile{
+		Loss: spec.Loss, Latency: spec.Latency, Jitter: spec.Jitter, Spread: spec.Spread,
+	})
+	if spec.Zones > 0 {
+		// The backbone floods all zones: receiver-side multicast filtering
+		// (mandatory across shards, and kept in single-shard runs so the
+		// semantics don't depend on the shard layout).
+		f.Net.SetSegmentProfile(switchsim.SegmentName(BackboneVLAN), netsim.LinkProfile{
+			Loss: spec.Loss, Latency: spec.BackboneLatency, Spread: spec.Spread, RecvFilter: true,
+		})
+	}
+	if f.Shards == nil {
+		// The metrics tap serializes every transmission through one mutex —
+		// harmless single-threaded, a scalability sink (and a cross-shard
+		// ordering hazard) under parallel windows.
+		f.Metrics.Attach(f.Net)
+	}
 	f.Trace = trace.New(spec.TraceCapacity)
 	f.Trace.Enable(spec.Trace)
 	f.Trace.AddSink(metrics.ObserveTrace(f.Metrics))
 
-	if err := f.build(); err != nil {
+	var err error
+	if spec.Zones > 0 {
+		err = f.buildZoned()
+	} else {
+		f.DB = configdb.New()
+		err = f.build()
+	}
+	if err != nil {
 		return nil, err
 	}
+	f.Net.Ensure() // resolve the segment cache before any (possibly parallel) window
 	return f, nil
 }
 
@@ -174,8 +283,29 @@ func (c clock) AfterFunc(d time.Duration, fn func()) transport.Timer {
 	return c.s.AfterFunc(d, fn)
 }
 
-// Clock returns the farm's virtual clock.
-func (f *Farm) Clock() transport.Clock { return clock{f.Sched} }
+// Clock returns the farm's virtual clock (shard 0's in a sharded farm;
+// per-node components use clockFor so their timers live on their shard).
+func (f *Farm) Clock() transport.Clock { return clock{f.schedFor("")} }
+
+// schedFor returns the scheduler a node's events run on: the single
+// kernel, or the node's home shard.
+func (f *Farm) schedFor(node string) *sim.Scheduler {
+	if f.Shards != nil {
+		return f.Shards.Shard(f.shardOf[node])
+	}
+	return f.Sched
+}
+
+// clockFor returns the node's clock, backed by its home shard.
+func (f *Farm) clockFor(node string) transport.Clock { return clock{f.schedFor(node)} }
+
+// Fired reports total events executed under either kernel.
+func (f *Farm) Fired() uint64 {
+	if f.Shards != nil {
+		return f.Shards.Fired()
+	}
+	return f.Sched.Fired()
+}
 
 // ipFor allocates 10.<class>.<hi>.<lo> for the ordinal-th adapter of a
 // VLAN class.
@@ -328,24 +458,149 @@ func (f *Farm) build() error {
 	return nil
 }
 
-// Start boots every daemon, staggered over StartSkew.
+// buildZoned constructs the zoned shape: Zones independent zones, each
+// with its own admin VLAN (own AMGs, own leader, own Central against a
+// zone-local configdb and bus), its own data VLANs, and a gateway adapter
+// on each zone's node 0 joining the shared backbone segment. When the farm
+// is sharded, zone z lives wholly on shard z mod K — nodes, switches and
+// segments — so the backbone is the only cross-shard traffic. Every daemon
+// gets a node-derived RNG (not the shared scheduler stream), keeping any
+// runtime draws identical under every shard count.
+func (f *Farm) buildZoned() error {
+	b := &builder{f: f, ordinals: make(map[int]int), ports: make(map[string]int)}
+	spec := f.Spec
+	shards := 1
+	if f.Shards != nil {
+		shards = f.Shards.N()
+	}
+	nodeIdx := 0
+	for z := 0; z < spec.Zones; z++ {
+		shard := z % shards
+		zdb := configdb.New()
+		zbus := event.NewBus(spec.RecordEvents)
+		f.DBs = append(f.DBs, zdb)
+		f.Buses = append(f.Buses, zbus)
+
+		// Zone switches, each with a management adapter (and SNMP agent) on
+		// the zone's admin VLAN. shardOf must be set before AddAdapter: the
+		// sharded network homes the adapter by its node's shard.
+		nSw := (spec.ZoneNodes + spec.NodesPerSwitch - 1) / spec.NodesPerSwitch
+		zoneSwitches := make([]string, 0, nSw)
+		for s := 0; s < nSw; s++ {
+			name := fmt.Sprintf("z%03d-sw-%02d", z, s)
+			f.shardOf[name] = shard
+			f.Fabric.AddSwitch(name)
+			mgmt := b.nextIP(9)
+			a := f.Net.AddAdapter(mgmt, name)
+			b.wire(name, mgmt, zoneAdminVLAN(z))
+			f.Fabric.Switch(name).AttachAgent(a, spec.Central.Community)
+			zoneSwitches = append(zoneSwitches, name)
+		}
+
+		domain := fmt.Sprintf("zone-%03d", z)
+		for i := 0; i < spec.ZoneNodes; i++ {
+			name := fmt.Sprintf("z%03d-n%03d", z, i)
+			f.shardOf[name] = shard
+			sw := zoneSwitches[i%nSw]
+			info := &NodeInfo{Name: name, Role: "zone", Domain: domain, Switch: sw}
+			vlans := []int{zoneAdminVLAN(z)}
+			for a := 1; a < spec.ZoneAdapters; a++ {
+				vlans = append(vlans, zoneDataVLAN(z, a))
+			}
+			if i == 0 {
+				// Gateway: the extra backbone adapter rides at a non-admin
+				// index, so backbone leadership never hosts a zone Central.
+				vlans = append(vlans, BackboneVLAN)
+			}
+			var eps []transport.Endpoint
+			for idx, vlan := range vlans {
+				class := 1
+				if idx > 0 {
+					class = vlan % 97
+					if class <= 1 {
+						class += 2
+					}
+				}
+				ip := b.nextIP(class)
+				a := f.Net.AddAdapter(ip, name)
+				port := b.wire(sw, ip, vlan)
+				info.Adapters = append(info.Adapters, ip)
+				eps = append(eps, a)
+				f.adapters[ip] = a
+				f.owner[ip] = name
+				if err := zdb.AddAdapter(configdb.AdapterSpec{
+					IP: ip, Node: name, Index: idx, VLAN: vlan, Switch: sw, Port: port,
+				}); err != nil {
+					return err
+				}
+			}
+			node := zdb.AddNode(name, domain, "zone")
+			node.Domain = domain
+			node.Role = "zone"
+
+			seed := int64(sim.Splitmix64(uint64(spec.Seed) ^ sim.Splitmix64(uint64(0x10000+nodeIdx))))
+			d, err := core.NewDaemon(spec.Core, name, f.clockFor(name), rand.New(rand.NewSource(seed)), eps)
+			if err != nil {
+				return err
+			}
+			c := central.New(spec.Central, f.clockFor(name), zbus, zdb)
+			for _, swName := range zoneSwitches {
+				swt := f.Fabric.Switch(swName)
+				c.RegisterSwitchAgent(swt.Name(), transport.Addr{IP: swt.ManagementIP(), Port: transport.PortSNMP})
+			}
+			if spec.Journal {
+				j := journal.NewMem()
+				c.SetJournal(j)
+				f.Journals[name] = j
+			}
+			d.SetCentral(c)
+			d.SetTracer(f.Trace)
+			c.SetTracer(f.Trace, name)
+			f.Nodes[name] = info
+			f.Daemons[name] = d
+			f.Centrals[name] = c
+			f.order = append(f.order, name)
+			nodeIdx++
+		}
+	}
+	f.DB = f.DBs[0]
+	f.Bus = f.Buses[0]
+	return nil
+}
+
+// Start boots every daemon, staggered over StartSkew. Skews are drawn in
+// node build order from the root-seeded stream — the scheduler's own RNG
+// single-threaded, a control RNG with the same seed when sharded — so the
+// boot schedule is identical under every shard count.
 func (f *Farm) Start() {
 	if f.started {
 		return
 	}
 	f.started = true
+	rng := func() *rand.Rand {
+		if f.Shards != nil {
+			return rand.New(rand.NewSource(f.Spec.Seed))
+		}
+		return f.Sched.Rand()
+	}()
 	for _, name := range f.order {
 		d := f.Daemons[name]
 		delay := time.Duration(0)
 		if f.Spec.StartSkew > 0 {
-			delay = time.Duration(f.Sched.Rand().Int63n(int64(f.Spec.StartSkew)))
+			delay = time.Duration(rng.Int63n(int64(f.Spec.StartSkew)))
 		}
-		f.Sched.AfterFunc(delay, d.Start)
+		f.schedFor(name).AfterFunc(delay, d.Start)
 	}
 }
 
-// RunFor advances the simulation.
-func (f *Farm) RunFor(d time.Duration) { f.Sched.RunFor(d) }
+// RunFor advances the simulation under either kernel.
+func (f *Farm) RunFor(d time.Duration) {
+	if f.Shards != nil {
+		f.Shards.RunFor(d)
+		return
+	}
+	f.Sched.RunFor(d)
+}
 
 // ActiveCentral returns the authoritative GulfStream Central. Partitioned
 // admin adapters may each host a Central for their own partition (the
@@ -375,20 +630,65 @@ func (f *Farm) ActiveCentral() *central.Central {
 // the timeout elapses. It returns the instant stability was reached
 // (Central's StableAt) and whether stability was achieved.
 func (f *Farm) RunUntilStable(timeout time.Duration) (time.Duration, bool) {
-	deadline := f.Sched.Now() + timeout
+	deadline := f.Now() + timeout
 	step := 250 * time.Millisecond
-	for f.Sched.Now() < deadline {
+	for f.Now() < deadline {
 		c := f.ActiveCentral()
 		if c != nil && c.Stable() {
 			return c.StableAt(), true
 		}
-		f.Sched.RunFor(step)
+		f.RunFor(step)
 	}
 	c := f.ActiveCentral()
 	if c != nil && c.Stable() {
 		return c.StableAt(), true
 	}
 	return 0, false
+}
+
+// HostingCentrals lists every Central currently hosted by a running
+// daemon, in node build order — one per zone in a converged zoned farm.
+func (f *Farm) HostingCentrals() []*central.Central {
+	var out []*central.Central
+	for _, name := range f.order {
+		d := f.Daemons[name]
+		if d.Running() && d.HostingCentral() {
+			out = append(out, f.Centrals[name])
+		}
+	}
+	return out
+}
+
+// RunUntilAllStable advances until at least want Centrals are hosted and
+// every hosted Central has a stable view, or the timeout elapses — the
+// zoned-farm convergence criterion (want = zone count). It returns the
+// latest StableAt among the hosted Centrals.
+func (f *Farm) RunUntilAllStable(want int, timeout time.Duration) (time.Duration, bool) {
+	deadline := f.Now() + timeout
+	step := 250 * time.Millisecond
+	check := func() (time.Duration, bool) {
+		cs := f.HostingCentrals()
+		if len(cs) < want {
+			return 0, false
+		}
+		var last time.Duration
+		for _, c := range cs {
+			if !c.Stable() {
+				return 0, false
+			}
+			if at := c.StableAt(); at > last {
+				last = at
+			}
+		}
+		return last, true
+	}
+	for f.Now() < deadline {
+		if at, ok := check(); ok {
+			return at, ok
+		}
+		f.RunFor(step)
+	}
+	return check()
 }
 
 // --- fault injection ---
@@ -398,7 +698,7 @@ func (f *Farm) RunUntilStable(timeout time.Duration) (time.Duration, bool) {
 // before any daemon could notice.
 func (f *Farm) traceFault(node, detail string) {
 	f.Trace.Record(trace.Record{
-		T: f.Sched.Now(), Kind: trace.KFaultInjected, Node: node, Detail: detail,
+		T: f.Now(), Kind: trace.KFaultInjected, Node: node, Detail: detail,
 	})
 }
 

@@ -1,0 +1,92 @@
+package farm
+
+import (
+	"testing"
+	"time"
+)
+
+// zonedSpec is a small zoned farm: 4 zones × 6 nodes × 2 adapters, plus
+// per-zone gateways on the backbone.
+func zonedSpec(seed int64, shards int) Spec {
+	return Spec{
+		Seed:         seed,
+		Zones:        4,
+		ZoneNodes:    6,
+		ZoneAdapters: 2,
+		Shards:       shards,
+		StartSkew:    2 * time.Second,
+	}
+}
+
+// TestZonedFarmStabilizes: every zone elects its own leader, hosts its own
+// Central, and all of them reach a stable view.
+func TestZonedFarmStabilizes(t *testing.T) {
+	f, err := Build(zonedSpec(42, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.DBs) != 4 || len(f.Buses) != 4 {
+		t.Fatalf("per-zone DBs/Buses = %d/%d, want 4/4", len(f.DBs), len(f.Buses))
+	}
+	// 4 zones × (6 nodes × 2 adapters + 1 gateway) = 52 daemon adapters.
+	if got := len(f.AdapterIPs()); got != 52 {
+		t.Fatalf("adapters = %d, want 52", got)
+	}
+	f.Start()
+	if _, ok := f.RunUntilAllStable(4, 90*time.Second); !ok {
+		t.Fatalf("zones did not all stabilize; hosting=%d", len(f.HostingCentrals()))
+	}
+	if got := len(f.HostingCentrals()); got != 4 {
+		t.Fatalf("hosting Centrals = %d, want 4 (one per zone)", got)
+	}
+	// Zone Centrals must not share state: each sees only its zone's groups.
+	for _, c := range f.HostingCentrals() {
+		if n := c.GroupCount(); n < 2 || n > 3 {
+			t.Errorf("zone Central tracks %d groups, want 2 (admin+data) or 3 (+backbone)", n)
+		}
+	}
+}
+
+// TestZonedShardedMatchesSingle is the kernel-determinism contract at farm
+// level: the same zoned spec run single-threaded and on a 2-shard kernel
+// fires the same events and converges to the same instant.
+func TestZonedShardedMatchesSingle(t *testing.T) {
+	run := func(shards int) (uint64, time.Duration) {
+		f, err := Build(zonedSpec(7, shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Start()
+		at, ok := f.RunUntilAllStable(4, 90*time.Second)
+		if !ok {
+			t.Fatalf("shards=%d did not stabilize", shards)
+		}
+		return f.Fired(), at
+	}
+	fired1, at1 := run(0)
+	for _, k := range []int{2, 3} {
+		firedK, atK := run(k)
+		if firedK != fired1 || atK != at1 {
+			t.Fatalf("shards=%d diverged: fired=%d stableAt=%v, want fired=%d stableAt=%v",
+				k, firedK, atK, fired1, at1)
+		}
+	}
+}
+
+// TestShardedSpecValidation: sharding requires the zoned shape and a
+// shard-safe configuration.
+func TestShardedSpecValidation(t *testing.T) {
+	if _, err := Build(Spec{Seed: 1, UniformNodes: 4, Shards: 2}); err == nil {
+		t.Error("sharded non-zoned spec should be rejected")
+	}
+	s := zonedSpec(1, 2)
+	s.Trace = true
+	if _, err := Build(s); err == nil {
+		t.Error("sharded spec with Trace should be rejected")
+	}
+	s = zonedSpec(1, 2)
+	s.Latency = 5 * time.Millisecond // exceeds the 1ms backbone default
+	if _, err := Build(s); err == nil {
+		t.Error("backbone latency below zone latency should be rejected")
+	}
+}

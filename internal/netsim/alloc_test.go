@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -130,5 +131,41 @@ func BenchmarkMulticastFanout256(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		first.Multicast(200, group, payload)
 		f.sched.Run()
+	}
+}
+
+// TestAllocShardedCrossDelivery extends the steady-state guarantee to the
+// cross-shard path: bundle posting, barrier expansion, PostAt injection
+// and the arrival itself must all recycle — zero allocs/op once the
+// bundle pools, merge scratch and per-lane free lists are warm.
+func TestAllocShardedCrossDelivery(t *testing.T) {
+	p := LinkProfile{Latency: 2 * time.Millisecond, Spread: 300 * time.Microsecond, RecvFilter: true}
+	f := newShardFixture(1, 4, 8, time.Millisecond, p)
+	group := transport.Addr{IP: transport.BeaconGroup, Port: 200}
+	for _, a := range f.adapters {
+		a.JoinGroup(group.IP, group.Port)
+		a.Bind(200, func(_, _ transport.Addr, _ []byte) {})
+		a.Bind(100, func(_, _ transport.Addr, _ []byte) {})
+	}
+	src, cross := f.adapters[0], f.adapters[1]
+	if src.Lane() == cross.Lane() {
+		t.Fatal("fixture should split hosts across lanes")
+	}
+	dst := transport.Addr{IP: cross.LocalIP(), Port: 100}
+	payload := make([]byte, 48)
+	send := func() {
+		src.Unicast(100, dst, payload)     // cross-shard unicast
+		src.Multicast(200, group, payload) // fan-out crossing all lanes
+	}
+	step := func() {
+		f.scheds[0].Schedule(time.Millisecond, send)
+		f.sh.RunFor(5 * time.Millisecond)
+	}
+	for i := 0; i < 8; i++ {
+		step() // warm every pool on every lane
+	}
+	got := testing.AllocsPerRun(100, step)
+	if got != 0 {
+		t.Errorf("cross-shard send+exchange+deliver: %.1f allocs/op, want 0", got)
 	}
 }

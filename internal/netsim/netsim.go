@@ -55,11 +55,27 @@ type NotifyingResolver interface {
 
 // LinkProfile describes delivery quality on a segment. Loss is the
 // independent per-receiver drop probability in [0,1]; latency of a packet
-// is Latency plus a uniform draw from [0, Jitter).
+// is Latency, plus a uniform draw from [0, Jitter), plus a deterministic
+// per-(src,dst) spread in [0, Spread).
+//
+// Spread exists for sharded runs: it desynchronizes simultaneous arrivals
+// the way real path-length differences do, but it is a pure hash of the
+// address pair — no RNG draw — so it is identical under any shard count
+// and absent (zero) in every pre-existing profile.
+//
+// RecvFilter selects receiver-side multicast filtering: the segment
+// delivers a multicast to every attached adapter and the subscription
+// check happens at arrival (IGMP-snooping semantics), instead of the
+// default sender-side membership scan. Cross-shard segments require it —
+// a sender may not read another shard's subscription state mid-window —
+// and it must be a property of the segment, not of the shard count, so
+// single-shard runs of the same farm stay bit-identical.
 type LinkProfile struct {
-	Loss    float64
-	Latency time.Duration
-	Jitter  time.Duration
+	Loss       float64
+	Latency    time.Duration
+	Jitter     time.Duration
+	Spread     time.Duration
+	RecvFilter bool
 }
 
 // FailureMode enumerates the ways an adapter can be broken.
@@ -130,10 +146,21 @@ func (s *segment) find(ip transport.IP) *Adapter {
 }
 
 // Network is the simulated fabric. It is driven entirely by the
-// scheduler's event loop and is not safe for concurrent use.
+// scheduler's event loop. A legacy (single-lane) network is not safe for
+// concurrent use; a sharded network (NewSharded) is driven by the Shards
+// kernel and partitions all mutable delivery state into per-shard lanes so
+// window bodies can run in parallel — see shard.go.
 type Network struct {
 	sched    *sim.Scheduler
 	resolver SegmentResolver
+
+	// Sharding. lanes always has at least one entry; a legacy network is
+	// exactly the one-lane special case (lane 0 on the caller's scheduler).
+	lanes   []*lane
+	sh      *sim.Shards
+	home    func(node string) int
+	sharded bool
+	xdel    xdelList // barrier merge scratch, reused
 
 	adapters map[transport.IP]*Adapter
 	order    []transport.IP // sorted, for deterministic iteration
@@ -150,11 +177,6 @@ type Network struct {
 	cacheVersion uint64
 	segments     map[string]*segment
 
-	// Free lists for in-flight packet state. The network lives on a
-	// single-threaded scheduler, so plain slices suffice — no locking.
-	freeDel []*delivery
-	freeBuf []*packetBuf
-
 	tap func(Trace)
 }
 
@@ -170,6 +192,7 @@ func New(sched *sim.Scheduler, resolver SegmentResolver) *Network {
 		segments:       make(map[string]*segment),
 		dirty:          true,
 	}
+	n.lanes = []*lane{{net: n, id: 0, sched: sched}}
 	if nr, ok := resolver.(NotifyingResolver); ok {
 		n.incremental = true
 		nr.Notify(n.adapterMoved, n.invalidate)
@@ -216,6 +239,10 @@ func (n *Network) AddAdapter(ip transport.IP, node string) *Adapter {
 		ip:   ip,
 		node: node,
 	}
+	a.ln = n.lanes[0]
+	if n.sharded {
+		a.ln = n.lanes[n.home(node)]
+	}
 	n.adapters[ip] = a
 	i := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= ip })
 	n.order = append(n.order, 0)
@@ -249,12 +276,24 @@ func (n *Network) Adapters() []*Adapter {
 func (n *Network) invalidate() { n.dirty = true }
 
 // ensure refreshes the segment cache as the mode requires; every read of
-// segment state goes through it first.
+// segment state goes through it first. In a sharded network the cache may
+// only be rebuilt while the kernel is quiesced — senders on worker
+// goroutines read segment buckets concurrently, so a topology change
+// landing mid-window is a hard error (sharded runs are for static-topology
+// workloads; call Ensure from control code after any change).
 func (n *Network) ensure() {
 	if n.dirty || (!n.incremental && n.resolver.Version() != n.cacheVersion) {
+		if n.sharded && n.sh.Running() {
+			panic("netsim: topology changed during a sharded window")
+		}
 		n.rebuild()
 	}
 }
+
+// Ensure rebuilds the segment cache if stale. Sharded callers must invoke
+// it from control code (between runs) after construction or any topology
+// change, so no rebuild happens inside a window.
+func (n *Network) Ensure() { n.ensure() }
 
 // getSegment returns the named bucket, creating it (with any registered
 // profile override) on first sight.
@@ -353,35 +392,89 @@ func (n *Network) SegmentMembers(name string) []transport.IP {
 	return out
 }
 
-// latency draws one delivery latency for the profile.
-func (n *Network) latency(p LinkProfile) time.Duration {
-	d := p.Latency
+// pairHash mixes an address pair (and optional salt) into a deterministic
+// 64-bit value — the basis of every draw-free link model under sharding.
+func pairHash(src, dst transport.IP, salt uint64) uint64 {
+	return sim.Splitmix64(uint64(src)<<32 | uint64(dst)&0xffffffff ^ salt)
+}
+
+// pairSpread is the deterministic per-pair latency component in
+// [0, Spread). It is a pure hash of the addresses — identical under any
+// shard count, zero for profiles that don't opt in.
+func pairSpread(p LinkProfile, src, dst transport.IP) time.Duration {
+	if p.Spread <= 0 {
+		return 0
+	}
+	return time.Duration(pairHash(src, dst, 0x5eed) % uint64(p.Spread))
+}
+
+// latency computes one delivery latency. The legacy (single-lane) network
+// draws jitter from the scheduler's RNG exactly as it always has — the
+// draw sequence of recorded runs is part of the replay contract. A sharded
+// network has no global RNG to share, so jitter becomes a stateless hash
+// of (pair, send instant): deterministic under any shard count.
+func (n *Network) latency(p LinkProfile, src, dst transport.IP, at time.Duration) time.Duration {
+	d := p.Latency + pairSpread(p, src, dst)
 	if p.Jitter > 0 {
-		d += time.Duration(n.sched.Rand().Int63n(int64(p.Jitter)))
+		if n.sharded {
+			d += time.Duration(pairHash(src, dst, uint64(at)*0x9e3779b97f4a7c15) % uint64(p.Jitter))
+		} else {
+			d += time.Duration(n.sched.Rand().Int63n(int64(p.Jitter)))
+		}
 	}
 	return d
 }
 
-func (n *Network) lost(p LinkProfile) bool {
-	return p.Loss > 0 && n.sched.Rand().Float64() < p.Loss
+// lost decides one per-receiver drop. Same split as latency: RNG draw on
+// the legacy path, stateless (pair, send instant) hash when sharded.
+func (n *Network) lost(p LinkProfile, src, dst transport.IP, at time.Duration) bool {
+	if p.Loss <= 0 {
+		return false
+	}
+	if n.sharded {
+		return float64(pairHash(src, dst, uint64(at)^0x10551055)%1_000_000_000)/1e9 < p.Loss
+	}
+	return n.sched.Rand().Float64() < p.Loss
+}
+
+// lane is the per-shard slice of the network's mutable delivery state: the
+// scheduler the shard's events run on, the packet/delivery free lists, and
+// the outgoing cross-shard bundle queues. Everything an adapter touches on
+// the send/receive hot path lives in its home lane, so shards never
+// contend. A legacy network is one lane.
+type lane struct {
+	net   *Network
+	id    int
+	sched *sim.Scheduler
+
+	// Free lists for in-flight packet state. Only this lane's shard (or
+	// the quiesced barrier) touches them — no locking.
+	freeDel []*delivery
+	freeBuf []*packetBuf
+
+	// out[dst] queues bundles for other lanes (sharded only; see shard.go).
+	out []bundleQueue
+	// mcb scratch: per-destination-lane bundle of the multicast currently
+	// being sent, nil between sends.
+	mcb []*bundle
 }
 
 // packetBuf is one pooled copy of a payload in flight. It is shared by
-// every receiver of a transmission; refs counts scheduled deliveries and
-// the buffer returns to the pool when the last one runs.
+// every receiver of a transmission on its lane; refs counts scheduled
+// deliveries and the buffer returns to the pool when the last one runs.
 type packetBuf struct {
 	b    []byte
 	refs int
 }
 
-// newBuf takes a buffer from the pool and fills it with a private copy of
-// payload — the single copy a transmission pays.
-func (n *Network) newBuf(payload []byte) *packetBuf {
+// newBuf takes a buffer from the lane's pool and fills it with a private
+// copy of payload — the single copy a transmission pays per lane.
+func (ln *lane) newBuf(payload []byte) *packetBuf {
 	var pb *packetBuf
-	if k := len(n.freeBuf); k > 0 {
-		pb = n.freeBuf[k-1]
-		n.freeBuf[k-1] = nil
-		n.freeBuf = n.freeBuf[:k-1]
+	if k := len(ln.freeBuf); k > 0 {
+		pb = ln.freeBuf[k-1]
+		ln.freeBuf[k-1] = nil
+		ln.freeBuf = ln.freeBuf[:k-1]
 	} else {
 		pb = &packetBuf{}
 	}
@@ -390,54 +483,70 @@ func (n *Network) newBuf(payload []byte) *packetBuf {
 	return pb
 }
 
-func (n *Network) releaseBuf(pb *packetBuf) {
+func (ln *lane) releaseBuf(pb *packetBuf) {
 	pb.refs--
 	if pb.refs <= 0 {
-		n.freeBuf = append(n.freeBuf, pb)
+		ln.freeBuf = append(ln.freeBuf, pb)
 	}
 }
 
 // delivery is one pooled in-flight arrival: the scheduled-event argument
-// carrying who receives which shared buffer.
+// carrying who receives which shared buffer. filter defers the multicast
+// subscription check to arrival time (RecvFilter segments).
 type delivery struct {
-	net *Network
-	dst *Adapter
-	src transport.Addr
-	to  transport.Addr
-	buf *packetBuf
+	ln     *lane
+	dst    *Adapter
+	src    transport.Addr
+	to     transport.Addr
+	buf    *packetBuf
+	filter bool
 }
 
 // runDelivery is the scheduler callback for every packet arrival. It is a
 // package-level function taking the pooled *delivery as its argument, so
-// scheduling it allocates nothing (no closure).
+// scheduling it allocates nothing (no closure). It runs on the receiver's
+// lane, so reading the receiver's bindings and group subscriptions is
+// always shard-local.
 func runDelivery(arg any) {
 	d := arg.(*delivery)
-	n, pb := d.net, d.buf
-	if d.dst.canReceive() {
+	ln, pb := d.ln, d.buf
+	if d.dst.canReceive() && !(d.filter && !d.dst.inGroup(d.to)) {
 		if h := d.dst.handler(d.to.Port); h != nil {
 			// The handler may use pb.b only for the duration of this call;
 			// the buffer is recycled as soon as the last receiver ran.
 			h(d.src, d.to, pb.b)
 		}
 	}
-	d.net, d.dst, d.buf = nil, nil, nil
-	n.freeDel = append(n.freeDel, d)
-	n.releaseBuf(pb)
+	d.ln, d.dst, d.buf = nil, nil, nil
+	ln.freeDel = append(ln.freeDel, d)
+	ln.releaseBuf(pb)
 }
 
-// deliver schedules the arrival of the shared buffer at dst's handler.
-func (n *Network) deliver(dst *Adapter, src, to transport.Addr, pb *packetBuf, after time.Duration) {
+// alloc takes a delivery record from the lane's pool.
+func (ln *lane) alloc(dst *Adapter, src, to transport.Addr, pb *packetBuf, filter bool) *delivery {
 	var d *delivery
-	if k := len(n.freeDel); k > 0 {
-		d = n.freeDel[k-1]
-		n.freeDel[k-1] = nil
-		n.freeDel = n.freeDel[:k-1]
+	if k := len(ln.freeDel); k > 0 {
+		d = ln.freeDel[k-1]
+		ln.freeDel[k-1] = nil
+		ln.freeDel = ln.freeDel[:k-1]
 	} else {
 		d = &delivery{}
 	}
-	d.net, d.dst, d.src, d.to, d.buf = n, dst, src, to, pb
+	d.ln, d.dst, d.src, d.to, d.buf, d.filter = ln, dst, src, to, pb, filter
 	pb.refs++
-	n.sched.AfterCall(after, runDelivery, d)
+	return d
+}
+
+// deliver schedules the arrival of the shared buffer at dst's handler,
+// after the given latency. dst must live on this lane.
+func (ln *lane) deliver(dst *Adapter, src, to transport.Addr, pb *packetBuf, after time.Duration, filter bool) {
+	ln.sched.AfterCall(after, runDelivery, ln.alloc(dst, src, to, pb, filter))
+}
+
+// deliverAt schedules an arrival at an absolute instant — the barrier
+// injection path for cross-shard deliveries.
+func (ln *lane) deliverAt(dst *Adapter, src, to transport.Addr, pb *packetBuf, at time.Duration, filter bool) {
+	ln.sched.PostAt(at, runDelivery, ln.alloc(dst, src, to, pb, filter))
 }
 
 // wellKnownPlanes counts the ports with dedicated handler slots: the five
@@ -460,6 +569,7 @@ func planeIndex(port uint16) int {
 // transport.Endpoint and transport.Liveness.
 type Adapter struct {
 	net  *Network
+	ln   *lane // home lane: the shard whose windows run this adapter
 	ip   transport.IP
 	node string
 	mode FailureMode
@@ -579,18 +689,27 @@ func (a *Adapter) Unicast(srcPort uint16, dst transport.Addr, payload []byte) er
 		return ErrNoSegment
 	}
 	src := transport.Addr{IP: a.ip, Port: srcPort}
+	now := a.ln.sched.Now()
 	received, dropped := 0, 0
 	if target := seg.find(dst.IP); target != nil {
 		p := n.effectiveProfile(seg)
-		if n.lost(p) {
-			dropped = 1
+		if target.ln == a.ln {
+			if n.lost(p, a.ip, dst.IP, now) {
+				dropped = 1
+			} else {
+				received = 1
+				a.ln.deliver(target, src, dst, a.ln.newBuf(payload), n.latency(p, a.ip, dst.IP, now), false)
+			}
 		} else {
+			// Cross-shard: queue a bundle; loss and latency are resolved at
+			// the barrier from the same stateless hashes, so the verdict is
+			// identical. The trace reports the pre-loss candidate.
 			received = 1
-			n.deliver(target, src, dst, n.newBuf(payload), n.latency(p))
+			a.ln.postCross(target, src, dst, payload, p, false)
 		}
 	}
 	if n.tap != nil {
-		n.tap(Trace{Time: n.sched.Now(), Src: a.ip, Dst: dst, Segment: seg.name,
+		n.tap(Trace{Time: now, Src: a.ip, Dst: dst, Segment: seg.name,
 			Bytes: len(payload), Receivers: received, Dropped: dropped, Payload: payload})
 	}
 	return nil
@@ -611,24 +730,43 @@ func (a *Adapter) Multicast(srcPort uint16, group transport.Addr, payload []byte
 	}
 	src := transport.Addr{IP: a.ip, Port: srcPort}
 	p := n.effectiveProfile(seg)
+	now := a.ln.sched.Now()
 	received, dropped := 0, 0
 	var pb *packetBuf
 	for _, m := range seg.members {
-		if m == a || !m.inGroup(group) {
+		if m == a {
 			continue
 		}
-		if n.lost(p) {
+		if p.RecvFilter {
+			// Receiver-side filtering: the segment floods every member and
+			// the subscription check happens at arrival, on the receiver's
+			// own shard. Mandatory for cross-shard segments — reading a
+			// remote adapter's subscriptions mid-window would race — and
+			// applied identically to local members so the semantics do not
+			// depend on the shard layout.
+		} else if m.ln != a.ln {
+			panic("netsim: cross-shard multicast on a segment without RecvFilter")
+		} else if !m.inGroup(group) {
+			continue
+		}
+		if m.ln != a.ln {
+			received++
+			a.ln.postMulticast(m, src, group, payload, p)
+			continue
+		}
+		if n.lost(p, a.ip, m.ip, now) {
 			dropped++
 			continue
 		}
 		received++
 		if pb == nil {
-			pb = n.newBuf(payload)
+			pb = a.ln.newBuf(payload)
 		}
-		n.deliver(m, src, group, pb, n.latency(p))
+		a.ln.deliver(m, src, group, pb, n.latency(p, a.ip, m.ip, now), p.RecvFilter)
 	}
+	a.ln.sealMulticast()
 	if n.tap != nil {
-		n.tap(Trace{Time: n.sched.Now(), Src: a.ip, Dst: group, Segment: seg.name,
+		n.tap(Trace{Time: now, Src: a.ip, Dst: group, Segment: seg.name,
 			Bytes: len(payload), Multicast: true, Receivers: received, Dropped: dropped, Payload: payload})
 	}
 	return nil

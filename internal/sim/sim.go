@@ -352,6 +352,38 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 // RunFor advances the simulation by d.
 func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
 
+// runWindow executes events with timestamps strictly before end, then
+// advances the clock to end. This is the body of one conservative-lookahead
+// window (see shard.go): the exclusive bound means every shard stops at the
+// same instant, and events at exactly the window boundary wait for the
+// cross-shard merge that happens there.
+func (s *Scheduler) runWindow(end time.Duration) {
+	for len(s.queue) > 0 && s.queue[0].at < end {
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// PostAt schedules fn(arg) at absolute virtual time at — the injection
+// point for cross-shard events merged at a window barrier. The event is
+// pooled like every other schedule. Times in the past are a contract
+// violation (a barrier only injects events at or after the barrier
+// instant), so PostAt panics rather than warping them forward.
+func (s *Scheduler) PostAt(at time.Duration, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: PostAt with nil function")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: PostAt %v before current time %v", at, s.now))
+	}
+	ev := s.alloc(at - s.now)
+	ev.fnc = fn
+	ev.arg = arg
+	s.push(ev)
+}
+
 // RunWhile executes events while cond() is true and events remain. It is
 // the primitive behind "run until the farm is stable" style loops; cond is
 // evaluated before each event.
