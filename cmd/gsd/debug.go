@@ -8,6 +8,7 @@ import (
 	"expvar"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -52,10 +53,13 @@ type healthSnapshot struct {
 const healthRefreshEvery = 2 * time.Second
 
 // startDebug wires the debug HTTP server and schedules the health
-// snapshot refresher on the runtime event loop. It returns after the
-// listener goroutine is launched.
+// snapshot refresher on the runtime event loop. It returns the actually
+// bound address (useful with ":0") after the listener goroutine is
+// launched, or "" if the listen failed. A non-nil fc additionally mounts
+// the /fabricctl handlers the conformance harness drives faults through.
 func startDebug(addr, node string, rt *transport.Runtime, eps []transport.Endpoint,
-	d *core.Daemon, ctr *central.Central, rec *trace.Recorder, reg *metrics.Registry) {
+	d *core.Daemon, ctr *central.Central, rec *trace.Recorder, reg *metrics.Registry,
+	fc *fabricControl) string {
 
 	var cur atomic.Pointer[healthSnapshot]
 
@@ -126,6 +130,13 @@ func startDebug(addr, node string, rt *transport.Runtime, eps []transport.Endpoi
 		enc.SetIndent("", " ")
 		enc.Encode(s)
 	})
+	mux.HandleFunc("/topology", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		serveTopology(w, r, node, rt, d, ctr)
+	})
+	if fc != nil {
+		fc.mount(mux, rt, ctr)
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -133,13 +144,206 @@ func startDebug(addr, node string, rt *transport.Runtime, eps []transport.Endpoi
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	srv := &http.Server{Addr: addr, Handler: mux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("gsd: debug endpoint: %v", err)
+		return ""
+	}
+	srv := &http.Server{Handler: mux}
 	go func() {
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Printf("gsd: debug endpoint: %v", err)
 		}
 	}()
-	log.Printf("gsd: debug endpoint on http://%s (/metrics /trace /spans /healthz /debug/vars /debug/pprof)", addr)
+	bound := ln.Addr().String()
+	log.Printf("gsd: debug endpoint on http://%s (/metrics /trace /spans /healthz /topology /debug/vars /debug/pprof)", bound)
+	return bound
+}
+
+// topologyDoc is the /topology document: Central's current belief about
+// the farm, assembled on the protocol event loop. The conformance
+// harness diffs Groups against its declared ground truth and, with
+// ?verify=1, collects the configdb mismatch verdicts.
+type topologyDoc struct {
+	Node           string              `json:"node"`
+	HostingCentral bool                `json:"hosting_central"`
+	Active         bool                `json:"active"`
+	Stable         bool                `json:"stable"`
+	Groups         map[string][]string `json:"groups"`
+	DeadNodes      []string            `json:"dead_nodes,omitempty"`
+	Incidents      map[string]uint64   `json:"incidents,omitempty"`
+	Mismatches     []string            `json:"mismatches,omitempty"`
+}
+
+// serveTopology snapshots Central's discovered topology. The collection
+// runs as one event-loop turn so the document is internally consistent.
+func serveTopology(w http.ResponseWriter, r *http.Request, node string,
+	rt *transport.Runtime, d *core.Daemon, ctr *central.Central) {
+
+	verify := r.URL.Query().Get("verify") != ""
+	done := make(chan *topologyDoc, 1)
+	rt.Post(func() {
+		doc := &topologyDoc{
+			Node:           node,
+			HostingCentral: d.HostingCentral(),
+			Active:         ctr.Active(),
+			Stable:         ctr.Stable(),
+			Groups:         map[string][]string{},
+			DeadNodes:      ctr.DeadNodes(),
+			Incidents:      ctr.Incidents(),
+		}
+		for leader, members := range ctr.Groups() {
+			ms := make([]string, len(members))
+			for i, ip := range members {
+				ms[i] = ip.String()
+			}
+			doc.Groups[leader.String()] = ms
+		}
+		if verify {
+			doc.Mismatches = []string{}
+			for _, m := range ctr.Verify() {
+				doc.Mismatches = append(doc.Mismatches, m.String())
+			}
+		}
+		done <- doc
+	})
+	select {
+	case doc := <-done:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(doc)
+	case <-time.After(5 * time.Second):
+		http.Error(w, `{"error":"event loop unresponsive"}`, http.StatusServiceUnavailable)
+	}
+}
+
+// fabricControl exposes the loopback fabric's runtime knobs over HTTP:
+// rescoping an adapter to another emulated segment (the SNMP port-VLAN
+// rewrite equivalent), injecting socket-level faults, and asking a hosted
+// Central for a planned node move. Only mounted with -fabric-ctl.
+type fabricControl struct {
+	scoped map[transport.IP]*transport.ScopedEndpoint
+}
+
+func (fc *fabricControl) endpoint(w http.ResponseWriter, r *http.Request) (*transport.ScopedEndpoint, bool) {
+	ip, ok := transport.ParseIP(r.URL.Query().Get("adapter"))
+	if !ok {
+		http.Error(w, `{"error":"bad adapter"}`, http.StatusBadRequest)
+		return nil, false
+	}
+	sc, ok := fc.scoped[ip]
+	if !ok {
+		http.Error(w, `{"error":"adapter not scoped"}`, http.StatusNotFound)
+		return nil, false
+	}
+	return sc, true
+}
+
+func (fc *fabricControl) mount(mux *http.ServeMux, rt *transport.Runtime, ctr *central.Central) {
+	ok := func(w http.ResponseWriter) { fmt.Fprintln(w, `{"ok":true}`) }
+
+	mux.HandleFunc("/fabricctl/rescope", func(w http.ResponseWriter, r *http.Request) {
+		sc, found := fc.endpoint(w, r)
+		if !found {
+			return
+		}
+		group, okIP := transport.ParseIP(r.URL.Query().Get("group"))
+		if !okIP || !group.IsMulticast() {
+			http.Error(w, `{"error":"bad group"}`, http.StatusBadRequest)
+			return
+		}
+		sc.Rescope(group)
+		ok(w)
+	})
+
+	mux.HandleFunc("/fabricctl/fault", func(w http.ResponseWriter, r *http.Request) {
+		sc, found := fc.endpoint(w, r)
+		if !found {
+			return
+		}
+		q := r.URL.Query()
+		parseLoss := func(key string) (float64, bool) {
+			s := q.Get(key)
+			if s == "" {
+				return 0, true
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			return v, err == nil
+		}
+		lossIn, okIn := parseLoss("loss_in")
+		lossOut, okOut := parseLoss("loss_out")
+		if !okIn || !okOut {
+			http.Error(w, `{"error":"bad loss rate"}`, http.StatusBadRequest)
+			return
+		}
+		if err := sc.SetFault(q.Get("mode"), lossIn, lossOut); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusBadRequest)
+			return
+		}
+		ok(w)
+	})
+
+	mux.HandleFunc("/fabricctl/segments", func(w http.ResponseWriter, r *http.Request) {
+		// map=ip:scope,ip:scope — the fabric's full segment table. The
+		// same (immutable) table is installed on every scoped adapter so
+		// cross-segment unicast dies here the way it would at a bridge.
+		table := map[transport.IP]transport.IP{}
+		for _, pair := range strings.Split(r.URL.Query().Get("map"), ",") {
+			pair = strings.TrimSpace(pair)
+			if pair == "" {
+				continue
+			}
+			ipStr, scopeStr, found := strings.Cut(pair, ":")
+			ip, okIP := transport.ParseIP(ipStr)
+			scope, okScope := transport.ParseIP(scopeStr)
+			if !found || !okIP || !okScope || !scope.IsMulticast() {
+				http.Error(w, fmt.Sprintf(`{"error":"bad segment pair %q"}`, pair), http.StatusBadRequest)
+				return
+			}
+			table[ip] = scope
+		}
+		for _, sc := range fc.scoped {
+			sc.SetSegments(table)
+		}
+		ok(w)
+	})
+
+	mux.HandleFunc("/fabricctl/move", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		node := q.Get("node")
+		vlanByIndex := map[int]int{}
+		for _, pair := range strings.Split(q.Get("set"), ",") {
+			idxStr, vlanStr, found := strings.Cut(strings.TrimSpace(pair), ":")
+			if !found {
+				continue
+			}
+			idx, err1 := strconv.Atoi(idxStr)
+			vlan, err2 := strconv.Atoi(vlanStr)
+			if err1 != nil || err2 != nil {
+				http.Error(w, `{"error":"bad set pair"}`, http.StatusBadRequest)
+				return
+			}
+			vlanByIndex[idx] = vlan
+		}
+		if node == "" || len(vlanByIndex) == 0 {
+			http.Error(w, `{"error":"need node and set=idx:vlan"}`, http.StatusBadRequest)
+			return
+		}
+		done := make(chan error, 1)
+		rt.Post(func() {
+			ctr.MoveNode(node, vlanByIndex, func(err error) { done <- err })
+		})
+		select {
+		case err := <-done:
+			if err != nil {
+				http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusConflict)
+				return
+			}
+			ok(w)
+		case <-time.After(30 * time.Second):
+			http.Error(w, `{"error":"move timed out"}`, http.StatusGatewayTimeout)
+		}
+	})
 }
 
 // localTopo resolves the one node a standalone gsd can see: its own.

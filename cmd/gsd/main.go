@@ -16,17 +16,25 @@
 // adapter, so a successor (or a restarted gsd) rebuilds its view from the
 // journal instead of a multicast resync pull.
 //
-// Network segments can be emulated on one machine with network
-// namespaces; see README.md.
+// Network segments can be emulated two ways on one machine: with network
+// namespaces (see README.md), or — for unprivileged conformance runs —
+// with scoped adapters: `-adapters 127.1.0.11@239.71.0.1` wraps the
+// adapter so its multicast lives on the given per-segment group instead
+// of the well-known one, which is how cmd/gshive's loopback fabric plugs
+// daemons into virtual VLANs. `-fabric-ctl` additionally exposes
+// /fabricctl handlers on the debug server so the harness can rewire and
+// fault those adapters at runtime.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -42,10 +50,111 @@ import (
 	"repro/internal/transport"
 )
 
+// readyInfo is the machine-readable readiness line written to -ready-fd
+// once the daemon has started: the orchestrator's signal that sockets are
+// bound and the protocol clock is running. StartUnixNS is the wall-clock
+// epoch of the daemon's trace timestamps, letting an external merger
+// align flight-recorder streams from many processes.
+type readyInfo struct {
+	Node        string   `json:"node"`
+	PID         int      `json:"pid"`
+	StartUnixNS int64    `json:"start_unix_ns"`
+	Adapters    []string `json:"adapters"`
+	DebugAddr   string   `json:"debug_addr,omitempty"`
+}
+
+// fastProfile compresses every protocol timer for single-host conformance
+// farms — the same values the in-repo UDP end-to-end test converges with.
+func fastProfile(cfg *core.Config) {
+	cfg.BeaconPhase = 2 * time.Second
+	cfg.BeaconInterval = 300 * time.Millisecond
+	cfg.LeaderBeaconInterval = 500 * time.Millisecond
+	cfg.StableWait = 500 * time.Millisecond
+	cfg.DeferTimeout = 3 * time.Second
+	cfg.DetectorParams.Interval = 300 * time.Millisecond
+	cfg.OrphanTimeout = 5 * time.Second
+	cfg.ConsensusWindow = 600 * time.Millisecond
+}
+
+// parseAdapters parses the -adapters list. Each element is `ip` or
+// `ip@scopegroup`; any scoped element wraps its endpoint in a
+// transport.ScopedEndpoint pinned to that multicast group.
+func parseAdapters(rt *transport.Runtime, spec string) (eps []transport.Endpoint, scoped map[transport.IP]*transport.ScopedEndpoint, close func(), err error) {
+	scoped = make(map[transport.IP]*transport.ScopedEndpoint)
+	var raw []*transport.UDPEndpoint
+	close = func() {
+		for _, ep := range raw {
+			ep.Close()
+		}
+	}
+	for _, s := range strings.Split(spec, ",") {
+		s = strings.TrimSpace(s)
+		addr, scope, hasScope := strings.Cut(s, "@")
+		ip, ok := transport.ParseIP(addr)
+		if !ok {
+			return nil, nil, close, fmt.Errorf("bad adapter address %q", s)
+		}
+		ep, err := transport.NewUDPEndpoint(rt, ip)
+		if err != nil {
+			return nil, nil, close, fmt.Errorf("adapter %v: %v", ip, err)
+		}
+		raw = append(raw, ep)
+		if !hasScope {
+			eps = append(eps, ep)
+			continue
+		}
+		group, ok := transport.ParseIP(scope)
+		if !ok || !group.IsMulticast() {
+			return nil, nil, close, fmt.Errorf("bad scope group %q for adapter %v", scope, ip)
+		}
+		sc := transport.NewScopedEndpoint(ep, group)
+		scoped[ip] = sc
+		eps = append(eps, sc)
+	}
+	return eps, scoped, close, nil
+}
+
+// parseSwitches parses -switches: `name=ip:port` elements naming the SNMP
+// agents of the farm's switches, registered with a hosted Central so it
+// can execute (and verify) VLAN rewrites.
+func parseSwitches(spec string) (map[string]transport.Addr, error) {
+	out := make(map[string]transport.Addr)
+	if spec == "" {
+		return out, nil
+	}
+	for _, s := range strings.Split(spec, ",") {
+		s = strings.TrimSpace(s)
+		name, addr, ok := strings.Cut(s, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad switch spec %q (want name=ip:port)", s)
+		}
+		host, portStr, ok := strings.Cut(addr, ":")
+		port := int(transport.PortSNMP)
+		if ok {
+			p, err := strconv.Atoi(portStr)
+			if err != nil || p <= 0 || p > 65535 {
+				return nil, fmt.Errorf("bad switch port in %q", s)
+			}
+			port = p
+		}
+		ip, okIP := transport.ParseIP(host)
+		if !okIP {
+			return nil, fmt.Errorf("bad switch address in %q", s)
+		}
+		out[name] = transport.Addr{IP: ip, Port: uint16(port)}
+	}
+	return out, nil
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		node       = flag.String("node", "", "node name (required)")
-		adapters   = flag.String("adapters", "", "comma-separated adapter IPv4 addresses; first is administrative (required)")
+		adapters   = flag.String("adapters", "", "comma-separated adapter IPv4 addresses, each `ip` or `ip@scopegroup`; first is administrative (required)")
+		fast       = flag.Bool("fast", false, "compressed protocol timers for single-host conformance farms")
 		tb         = flag.Duration("tb", 5*time.Second, "beacon phase Tb")
 		ts         = flag.Duration("ts", 5*time.Second, "leader quiet wait Ts")
 		tgsc       = flag.Duration("tgsc", 15*time.Second, "Central stabilization wait Tgsc")
@@ -54,50 +163,68 @@ func main() {
 		detName    = flag.String("detector", "biring", "failure detector: ring|biring|all-to-all|randping|subgroup")
 		dbPath     = flag.String("configdb", "", "expected-topology JSON for Central verification (optional)")
 		community  = flag.String("community", "farm-admin", "SNMP community for switch management")
+		switches   = flag.String("switches", "", "comma-separated switch SNMP agents (name=ip:port) registered with a hosted Central")
 		journalDir = flag.String("journal-dir", "", "directory for Central's durable state journal (empty = journal off)")
 		seed       = flag.Int64("seed", 0, "randomness seed (0 = time-based)")
 		debugAddr  = flag.String("debug-addr", "", "HTTP debug listen address serving /metrics, /trace, /healthz, /debug/vars, /debug/pprof (empty = off)")
+		fabricCtl  = flag.Bool("fabric-ctl", false, "expose /fabricctl rescope/fault/move handlers on the debug server (conformance harness only)")
+		readyFD    = flag.Int("ready-fd", 0, "file descriptor to write a one-line JSON readiness message to once started (0 = off)")
 		traceOn    = flag.Bool("trace", true, "capture protocol flight-recorder records")
 		traceCap   = flag.Int("trace-cap", 0, "flight recorder capacity in records (0 = default)")
 	)
 	flag.Parse()
 	if *node == "" || *adapters == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	kind, err := detect.ParseKind(*detName)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 
 	cfg := core.DefaultConfig()
-	cfg.BeaconPhase = *tb
-	cfg.StableWait = *ts
+	// Reports are deduped by Central per reporter via sequence numbers; a
+	// restarted process must not reuse its previous life's numbering or
+	// its first reports are swallowed as duplicates. Boot time makes the
+	// sequence space monotonic across restarts.
+	cfg.ReportEpoch = uint64(time.Now().UnixNano())
+	if *fast {
+		fastProfile(&cfg)
+		// Explicit timer flags still win over the profile.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "tb":
+				cfg.BeaconPhase = *tb
+			case "ts":
+				cfg.StableWait = *ts
+			case "th":
+				cfg.DetectorParams.Interval = *th
+			}
+		})
+	} else {
+		cfg.BeaconPhase = *tb
+		cfg.StableWait = *ts
+		cfg.DetectorParams.Interval = *th
+	}
 	cfg.Detector = kind
 	cfg.Consensus = kind == detect.BiRing
-	cfg.DetectorParams.Interval = *th
 	cfg.DetectorParams.MissThreshold = *miss
 
 	rt := transport.NewRuntime()
-	var eps []transport.Endpoint
-	for _, s := range strings.Split(*adapters, ",") {
-		ip, ok := transport.ParseIP(strings.TrimSpace(s))
-		if !ok {
-			log.Fatalf("gsd: bad adapter address %q", s)
-		}
-		ep, err := transport.NewUDPEndpoint(rt, ip)
-		if err != nil {
-			log.Fatalf("gsd: adapter %v: %v", ip, err)
-		}
-		defer ep.Close()
-		eps = append(eps, ep)
+	eps, scopedEPs, closeEPs, err := parseAdapters(rt, *adapters)
+	defer closeEPs()
+	if err != nil {
+		log.Printf("gsd: %v", err)
+		return 1
 	}
 
 	var db *configdb.DB
 	if *dbPath != "" {
 		db, err = configdb.Load(*dbPath)
 		if err != nil {
-			log.Fatalf("gsd: configdb: %v", err)
+			log.Printf("gsd: configdb: %v", err)
+			return 1
 		}
 	}
 	bus := event.NewBus(false)
@@ -108,14 +235,24 @@ func main() {
 	cc.StabilizeWait = *tgsc
 	cc.Community = *community
 	ctr := central.New(cc, rt, bus, db)
+	agents, err := parseSwitches(*switches)
+	if err != nil {
+		log.Printf("gsd: %v", err)
+		return 1
+	}
+	for name, addr := range agents {
+		ctr.RegisterSwitchAgent(name, addr)
+	}
 	if *journalDir != "" {
 		store, err := journal.NewFileStore(*journalDir, journal.FileOptions{})
 		if err != nil {
-			log.Fatalf("gsd: journal: %v", err)
+			log.Printf("gsd: journal: %v", err)
+			return 1
 		}
 		j, err := journal.New(store, journal.Options{})
 		if err != nil {
-			log.Fatalf("gsd: journal: %v", err)
+			log.Printf("gsd: journal: %v", err)
+			return 1
 		}
 		defer j.Close()
 		ctr.SetJournal(j)
@@ -133,7 +270,8 @@ func main() {
 	}
 	d, err := core.NewDaemon(cfg, *node, rt, rand.New(rand.NewSource(s)), eps)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	d.SetCentral(ctr)
 
@@ -146,8 +284,13 @@ func main() {
 	rec.AddSink(metrics.ObserveTrace(reg))
 	d.SetTracer(rec)
 	ctr.SetTracer(rec, *node)
+	boundDebug := ""
 	if *debugAddr != "" {
-		startDebug(*debugAddr, *node, rt, eps, d, ctr, rec, reg)
+		var fc *fabricControl
+		if *fabricCtl {
+			fc = &fabricControl{scoped: scopedEPs}
+		}
+		boundDebug = startDebug(*debugAddr, *node, rt, eps, d, ctr, rec, reg, fc)
 	}
 
 	// Start inside the event loop so all protocol work is serialized.
@@ -155,6 +298,9 @@ func main() {
 		d.Start()
 		log.Printf("gsd: node %s up with %d adapters (admin %v), detector %v",
 			*node, len(eps), d.AdminIP(), kind)
+		if *readyFD > 0 {
+			writeReady(*readyFD, *node, rt, eps, boundDebug)
+		}
 	})
 
 	// Periodic status line.
@@ -184,7 +330,37 @@ func main() {
 	go rt.Run()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Printf("gsd: shutting down")
+	got := <-sig
+	log.Printf("gsd: %v, shutting down", got)
+	// Close sockets first: the runtime's Close waits for every socket
+	// read loop, and those only exit when their sockets close.
+	closeEPs()
 	rt.Close()
+	return 0
+}
+
+// writeReady emits the one-line readiness JSON on the inherited fd and
+// closes it, so an orchestrator blocked on the read unblocks exactly when
+// the daemon is live.
+func writeReady(fd int, node string, rt *transport.Runtime, eps []transport.Endpoint, debugAddr string) {
+	f := os.NewFile(uintptr(fd), "ready")
+	if f == nil {
+		return
+	}
+	defer f.Close()
+	info := readyInfo{
+		Node:        node,
+		PID:         os.Getpid(),
+		StartUnixNS: rt.Start().UnixNano(),
+		DebugAddr:   debugAddr,
+	}
+	for _, ep := range eps {
+		info.Adapters = append(info.Adapters, ep.LocalIP().String())
+	}
+	b, err := json.Marshal(info)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	_, _ = f.Write(b)
 }

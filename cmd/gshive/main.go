@@ -1,0 +1,92 @@
+// Command gshive is the conformance-harness orchestrator: it boots
+// farms of real gsd daemons on real UDP sockets, drives named chaos
+// scenario suites against them through an emulated switching fabric,
+// and holds the scraped farm-wide trace to the protocol invariants.
+//
+//	gshive list
+//	gshive run [-fabric loopback|netns] [-suite all|name,...] [-artifacts dir] [-bin path]
+//
+// Artifacts per suite: verdict.json, merged-trace.jsonl, topology.json,
+// ground-truth.json, plus every daemon incarnation's log and journal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/conformance"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, s := range conformance.Suites() {
+			fmt.Printf("%-18s %s\n", s.Name, s.Desc)
+		}
+	case "run":
+		runCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gshive list
+  gshive run [-fabric loopback|netns] [-suite all|name,...] [-artifacts dir] [-bin path] [-poll dur]`)
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	fabric := fs.String("fabric", "loopback", "fabric: loopback (unprivileged) or netns (root)")
+	suite := fs.String("suite", "all", "comma-separated suite names, or all")
+	artifacts := fs.String("artifacts", "", "artifacts directory (default: temp dir)")
+	bin := fs.String("bin", "", "gsd binary (default: build into artifacts dir)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "trace scrape cadence")
+	fs.Parse(args)
+
+	suites, err := conformance.FindSuites(strings.Split(*suite, ","))
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := conformance.Run(suites, conformance.Options{
+		Bin:       *bin,
+		Fabric:    *fabric,
+		Artifacts: *artifacts,
+		Logf:      log.Printf,
+		PollEvery: *poll,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	passed := 0
+	for _, r := range results {
+		status := "FAIL"
+		if r.Passed {
+			status, passed = "PASS", passed+1
+		}
+		line := fmt.Sprintf("%s  %-18s %6.1fs", status, r.Suite, r.Seconds)
+		if r.Verdict != nil {
+			line += fmt.Sprintf("  records=%d sources=%d", r.Verdict.Records, r.Verdict.Sources)
+		}
+		if r.Err != "" {
+			line += "  " + r.Err
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("%d/%d suites passed on the %s fabric\n", passed, len(results), *fabric)
+	if passed != len(results) {
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,7 @@ package central
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/configdb"
@@ -359,6 +360,17 @@ func (c *Central) AdapterAlive(ip transport.IP) (alive, known bool) {
 
 // NodeAlive reports node-level correlated state.
 func (c *Central) NodeAlive(node string) bool { return !c.nodeDead[node] }
+
+// DeadNodes lists the nodes Central currently believes dead, sorted —
+// the harness diffs this against a scenario's expected casualties.
+func (c *Central) DeadNodes() []string {
+	out := make([]string, 0, len(c.nodeDead))
+	for n := range c.nodeDead {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
 
 func sortIPs(ips []transport.IP) {
 	for i := 1; i < len(ips); i++ {

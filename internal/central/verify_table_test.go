@@ -1,0 +1,141 @@
+package central
+
+import (
+	"testing"
+
+	"repro/internal/configdb"
+	"repro/internal/wire"
+)
+
+// TestVerifyMismatchTable drives Central's configdb-vs-reality
+// verification through the report plane: each case describes what the
+// database expects, what the daemons actually reported, and the verdicts
+// verification must hand back. These are the same divergences the
+// conformance harness plants against real daemons (configdb-mismatch
+// suite); this pins the verdict vocabulary at the unit level.
+func TestVerifyMismatchTable(t *testing.T) {
+	// The farm reality every case starts from: an admin group of three
+	// nodes and a data group of three adapters on VLAN 100.
+	type group struct {
+		leaderC, leaderD byte // the group's leader, ip(leaderC, leaderD)
+		members          []wire.Member
+	}
+	reality := []group{
+		{leaderC: 9, leaderD: 9, members: []wire.Member{
+			{IP: ip(9, 9), Node: "central-host", Admin: true},
+			{IP: ip(9, 1), Node: "node-a", Admin: true},
+			{IP: ip(9, 2), Node: "node-b", Admin: true},
+			{IP: ip(9, 3), Node: "node-c", Admin: true},
+		}},
+		{leaderC: 2, leaderD: 3, members: []wire.Member{
+			{IP: ip(2, 1), Node: "node-a", Index: 1},
+			{IP: ip(2, 2), Node: "node-b", Index: 1},
+			{IP: ip(2, 3), Node: "node-c", Index: 1},
+		}},
+	}
+	baseDB := []configdb.AdapterSpec{
+		{IP: ip(9, 9), Node: "central-host", Index: 0, VLAN: 1, Switch: "sw-x", Port: 1},
+		{IP: ip(9, 1), Node: "node-a", Index: 0, VLAN: 1, Switch: "sw-x", Port: 2},
+		{IP: ip(9, 2), Node: "node-b", Index: 0, VLAN: 1, Switch: "sw-x", Port: 3},
+		{IP: ip(9, 3), Node: "node-c", Index: 0, VLAN: 1, Switch: "sw-x", Port: 4},
+		{IP: ip(2, 1), Node: "node-a", Index: 1, VLAN: 100, Switch: "sw-x", Port: 5},
+		{IP: ip(2, 2), Node: "node-b", Index: 1, VLAN: 100, Switch: "sw-x", Port: 6},
+		{IP: ip(2, 3), Node: "node-c", Index: 1, VLAN: 100, Switch: "sw-x", Port: 7},
+	}
+
+	type verdict struct {
+		kind    configdb.MismatchKind
+		adapter byte // ip octets c,d packed as below; 0 means "any/none"
+		ipC     byte
+	}
+	cases := []struct {
+		name string
+		db   func(*configdb.DB) // extra lies planted in the database
+		want []verdict
+	}{
+		{
+			name: "clean",
+			db:   func(*configdb.DB) {},
+			want: nil,
+		},
+		{
+			// A whole node exists only on paper: every adapter the db
+			// claims for it is reported missing.
+			name: "missing node",
+			db: func(db *configdb.DB) {
+				must(t, db.AddAdapter(configdb.AdapterSpec{
+					IP: ip(9, 7), Node: "node-ghost", Index: 0, VLAN: 1,
+					Switch: "sw-x", Port: 8}))
+				must(t, db.AddAdapter(configdb.AdapterSpec{
+					IP: ip(2, 7), Node: "node-ghost", Index: 1, VLAN: 100,
+					Switch: "sw-x", Port: 9}))
+			},
+			want: []verdict{
+				{kind: configdb.MissingAdapter, ipC: 2, adapter: 7},
+				{kind: configdb.MissingAdapter, ipC: 9, adapter: 7},
+			},
+		},
+		{
+			// The db believes node-a's data adapter lives on VLAN 200,
+			// but it was discovered grouped with the VLAN-100 majority:
+			// the misconfigured adapter is flagged, not its groupmates.
+			name: "wrong VLAN",
+			db: func(db *configdb.DB) {
+				must(t, db.SetExpectedVLAN(ip(2, 1), 200))
+			},
+			want: []verdict{
+				{kind: configdb.WrongSegment, ipC: 2, adapter: 1},
+			},
+		},
+		{
+			// Reality has an adapter the db never heard of — it joined
+			// the data group but has no spec.
+			name: "extra adapter",
+			db: func(db *configdb.DB) {
+				// The lie here is an omission: drop nothing from reality,
+				// the base db simply never listed ip(2,4); extend reality
+				// below via the report instead.
+			},
+			want: []verdict{
+				{kind: configdb.UnknownAdapter, ipC: 2, adapter: 4},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := configdb.New()
+			for _, spec := range baseDB {
+				must(t, db.AddAdapter(spec))
+			}
+			tc.db(db)
+
+			f := newFixture(t, db)
+			for _, g := range reality {
+				members := g.members
+				if tc.name == "extra adapter" && g.leaderC == 2 {
+					members = append(append([]wire.Member{}, members...),
+						wire.Member{IP: ip(2, 4), Node: "node-d", Index: 1})
+				}
+				f.full(ip(g.leaderC, g.leaderD), 1, members...)
+			}
+
+			got := f.c.Verify()
+			if len(got) != len(tc.want) {
+				t.Fatalf("Verify() = %v, want %d findings", got, len(tc.want))
+			}
+			for i, w := range tc.want {
+				if got[i].Kind != w.kind || got[i].Adapter != ip(w.ipC, w.adapter) {
+					t.Errorf("finding %d = %v, want %v %v", i, got[i], w.kind, ip(w.ipC, w.adapter))
+				}
+			}
+		})
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

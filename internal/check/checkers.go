@@ -187,6 +187,27 @@ func mark(m map[txnKey]map[transport.IP]bool, k txnKey, ip transport.IP) {
 }
 
 func (c *twoPC) Observe(ctx Context, rec trace.Record, report func(string)) {
+	if isAdapterReset(rec) {
+		// The adapter's lineage died: rounds led by it are over (a
+		// crash-restarted leader process restarts its token counter, so
+		// (leader, token) pairs legitimately repeat across incarnations),
+		// and its own votes/installs under other leaders are forgotten.
+		for _, m := range []map[txnKey]map[transport.IP]bool{c.prepared, c.aborted, c.installed} {
+			for k, set := range m {
+				if k.g == rec.Self {
+					delete(m, k)
+				} else {
+					delete(set, rec.Self)
+				}
+			}
+		}
+		for k := range c.committed {
+			if k.g == rec.Self {
+				delete(c.committed, k)
+			}
+		}
+		return
+	}
 	k := txnKey{rec.Group, rec.Token}
 	switch rec.Kind {
 	case trace.KPrepareRecv:

@@ -1,0 +1,124 @@
+package conformance
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/switchsim"
+	"repro/internal/transport"
+)
+
+// WallTarget adapts the live harness to check.Target, so the same
+// chaos schedule DSL the deterministic simulator replays drives real
+// processes on the wall clock. Schedule.Run registers every op through
+// After and then blocks in RunFor, exactly as with the sim clock.
+type WallTarget struct {
+	h     *H
+	start time.Time
+
+	mu     sync.Mutex
+	timers []*time.Timer
+}
+
+// NewWallTarget wraps the harness handle as a chaos schedule target.
+func NewWallTarget(h *H) *WallTarget {
+	return &WallTarget{h: h, start: time.Now()}
+}
+
+// Now implements check.Target.
+func (t *WallTarget) Now() time.Duration { return time.Since(t.start) }
+
+// After implements check.Target.
+func (t *WallTarget) After(d time.Duration, fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.timers = append(t.timers, time.AfterFunc(d, fn))
+}
+
+// RunFor implements check.Target: real time passes, real daemons run.
+func (t *WallTarget) RunFor(d time.Duration) { time.Sleep(d) }
+
+// Stop cancels any outstanding timers (teardown safety).
+func (t *WallTarget) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tm := range t.timers {
+		tm.Stop()
+	}
+}
+
+// KillNode implements check.Target.
+func (t *WallTarget) KillNode(name string) error { return t.h.KillNode(name) }
+
+// RestartNode implements check.Target.
+func (t *WallTarget) RestartNode(name string) error { return t.h.RestartNode(name) }
+
+// FailAdapter implements check.Target; the netsim mode names are the
+// fabric fault-mode vocabulary by construction.
+func (t *WallTarget) FailAdapter(ip transport.IP, mode netsim.FailureMode) error {
+	return t.h.FailAdapter(ip, mode.String(), 0, 0)
+}
+
+// KillSwitch implements check.Target. The conformance farm has a
+// single emulated switch whose death would sever the harness itself;
+// schedules for this fabric do not include switch outages.
+func (t *WallTarget) KillSwitch(name string) error {
+	return fmt.Errorf("conformance: switch outage not supported on the %s fabric", t.h.F.Kind())
+}
+
+// RestoreSwitch implements check.Target.
+func (t *WallTarget) RestoreSwitch(name string) error {
+	return fmt.Errorf("conformance: switch outage not supported on the %s fabric", t.h.F.Kind())
+}
+
+// MoveNodeToDomain implements check.Target: a planned move of every
+// data adapter to the named segment, through the active Central.
+func (t *WallTarget) MoveNodeToDomain(node, toDomain string, done func(error)) error {
+	if done == nil {
+		done = func(error) {}
+	}
+	vlan, ok := t.h.Spec.Domains()[toDomain]
+	if !ok {
+		err := fmt.Errorf("conformance: unknown domain %q", toDomain)
+		done(err)
+		return err
+	}
+	spec, ok := t.h.Spec.Node(node)
+	if !ok {
+		err := fmt.Errorf("conformance: unknown node %q", node)
+		done(err)
+		return err
+	}
+	set := map[int]int{}
+	for _, a := range spec.Adapters {
+		if a.Index != 0 {
+			set[a.Index] = vlan
+		}
+	}
+	go func() { done(t.h.PlannedMove(node, set)) }()
+	return nil
+}
+
+// SetSegmentLoss implements check.Target: a uniform loss rate on every
+// adapter of the segment (negative restores). Partition is loss 1.
+func (t *WallTarget) SetSegmentLoss(segment string, loss float64) {
+	mode := ""
+	if loss < 0 {
+		loss = 0
+	}
+	for _, n := range t.h.Spec.Nodes {
+		for _, a := range n.Adapters {
+			if switchsim.SegmentName(t.h.F.VLANOf(a.IP)) != segment {
+				continue
+			}
+			if err := t.h.FailAdapter(a.IP, mode, loss, loss); err != nil {
+				t.h.Logf("chaos: segment loss on %v: %v", a.IP, err)
+			}
+		}
+	}
+}
+
+// ActiveCentralNode implements check.Target.
+func (t *WallTarget) ActiveCentralNode() string { return t.h.ActiveCentral() }

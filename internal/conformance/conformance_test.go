@@ -1,0 +1,52 @@
+package conformance
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestLoopbackSmoke boots a real five-daemon farm on the loopback
+// fabric and runs the cold-start and configdb-mismatch suites end to
+// end: real processes, real UDP, real SNMP, invariant-checked traces.
+// The remaining suites run via cmd/gshive (CI smoke job and nightly).
+func TestLoopbackSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process farm boot; skipped in -short")
+	}
+	bin, err := BuildGSD(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	suites, err := FindSuites([]string{"smoke", "configdb-mismatch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(suites, Options{
+		Bin:       bin,
+		Artifacts: t.TempDir(),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(suites) {
+		t.Fatalf("want %d results, got %d", len(suites), len(results))
+	}
+	for _, r := range results {
+		if r.Passed {
+			continue
+		}
+		detail, _ := json.MarshalIndent(r.Verdict, "", "  ")
+		t.Errorf("suite %s failed: %s\nverdict: %s", r.Suite, r.Err, detail)
+	}
+}
+
+func TestFindSuites(t *testing.T) {
+	all, err := FindSuites([]string{"all"})
+	if err != nil || len(all) != 8 {
+		t.Fatalf("all: %v (%d suites)", err, len(all))
+	}
+	if _, err := FindSuites([]string{"no-such-suite"}); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package conformance
+
+import "repro/internal/transport"
+
+// Fabric is the substrate a conformance farm runs on: it boots real
+// gsd processes, emulates the switched network between them, and
+// exposes the fault and reconfiguration primitives the scenario suites
+// drive. Both fabrics (loopback, netns) implement it, so suites are
+// fabric-agnostic.
+type Fabric interface {
+	// Kind names the fabric ("loopback", "netns").
+	Kind() string
+	// Spec returns the farm description the fabric was built from.
+	Spec() *FarmSpec
+	// OnStart registers a hook called for every daemon incarnation the
+	// fabric launches (the scraper tracks streams through it). Must be
+	// set before Boot.
+	OnStart(func(*Daemon))
+	// Boot constructs the network substrate and starts every node.
+	Boot() error
+	// Close tears the farm down: graceful daemon stops, then substrate
+	// cleanup. Returns the first daemon that failed to exit cleanly.
+	Close() error
+
+	// Live returns the running incarnation of a node.
+	Live(node string) (*Daemon, bool)
+	// LiveDaemons lists all running incarnations in spec order.
+	LiveDaemons() []*Daemon
+
+	// KillNode fail-stops a node's process (SIGKILL).
+	KillNode(node string) error
+	// RestartNode boots a fresh incarnation of a previously killed node.
+	RestartNode(node string) error
+
+	// FailAdapter puts one adapter into a netsim-style failure mode
+	// ("healthy", "fail-stop", "fail-recv", "fail-send"), optionally
+	// with partial loss rates.
+	FailAdapter(ip transport.IP, mode string, lossIn, lossOut float64) error
+	// RescopeAdapter re-plugs an adapter into another VLAN behind
+	// Central's back — the surprise-move primitive. (Planned moves go
+	// through Central, which reaches the same rewiring via the
+	// harness-side SNMP switch agent.)
+	RescopeAdapter(ip transport.IP, vlan int) error
+	// VLANOf reports the adapter's current segment in fabric reality.
+	VLANOf(ip transport.IP) int
+}

@@ -1,0 +1,164 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/switchsim"
+	"repro/internal/transport"
+)
+
+// TopologyDoc mirrors the gsd /topology JSON document: the hosting
+// Central's current belief about the farm.
+type TopologyDoc struct {
+	Node           string              `json:"node"`
+	HostingCentral bool                `json:"hosting_central"`
+	Active         bool                `json:"active"`
+	Stable         bool                `json:"stable"`
+	Groups         map[string][]string `json:"groups"` // leader IP -> member IPs
+	DeadNodes      []string            `json:"dead_nodes"`
+	Incidents      map[string]uint64   `json:"incidents"`
+	Mismatches     []string            `json:"mismatches"`
+}
+
+// GroundTruth is the B.O.D.Y.-style declarative statement of what the
+// farm actually looks like right now: which adapters share each
+// broadcast segment, which nodes are dead, and which configdb verdicts
+// verification is expected to raise. The harness diffs Central's
+// discovered topology against it; an empty diff is the pass condition.
+type GroundTruth struct {
+	// Segments maps segment name -> the sorted adapter addresses that
+	// are really plugged into it (dead nodes excluded).
+	Segments map[string][]string `json:"segments"`
+	// DeadNodes are nodes whose processes are down and must be reported
+	// dead by Central.
+	DeadNodes []string `json:"dead_nodes"`
+	// ExpectedMismatches are substrings that must each match at least
+	// one configdb verification verdict — and every verdict must match
+	// one of them. Empty means verification must come back clean.
+	ExpectedMismatches []string `json:"expected_mismatches,omitempty"`
+}
+
+// GroundTruth assembles the current reality from the fabric's live
+// per-adapter VLAN view (vlanOf returns 0 for "still on the spec
+// VLAN"), the set of dead nodes, and the planted verification
+// expectations.
+func (f *FarmSpec) GroundTruth(vlanOf func(transport.IP) int, dead map[string]bool,
+	expectMismatch []string) *GroundTruth {
+
+	gt := &GroundTruth{Segments: map[string][]string{}, DeadNodes: []string{}}
+	for _, n := range f.Nodes {
+		if dead[n.Name] {
+			gt.DeadNodes = append(gt.DeadNodes, n.Name)
+			continue
+		}
+		for _, a := range n.Adapters {
+			vlan := a.VLAN
+			if vlanOf != nil {
+				if v := vlanOf(a.IP); v != 0 {
+					vlan = v
+				}
+			}
+			seg := switchsim.SegmentName(vlan)
+			gt.Segments[seg] = append(gt.Segments[seg], a.IP.String())
+		}
+	}
+	for seg := range gt.Segments {
+		sortIPStrings(gt.Segments[seg])
+	}
+	sort.Strings(gt.DeadNodes)
+	gt.ExpectedMismatches = append(gt.ExpectedMismatches, expectMismatch...)
+	return gt
+}
+
+// Diff compares Central's discovered topology against the ground
+// truth. It returns one complaint per divergence; nil means the
+// discovered topology is exactly the declared reality. Group leader
+// identity is not part of the contract (any member may lead); the
+// member sets are.
+func (gt *GroundTruth) Diff(topo *TopologyDoc) []string {
+	var out []string
+	if topo == nil {
+		return []string{"no topology document (no active Central reachable)"}
+	}
+
+	// Index discovered groups by their sorted member-set fingerprint.
+	type discovered struct {
+		leader string
+		key    string
+		used   bool
+	}
+	groups := make([]*discovered, 0, len(topo.Groups))
+	for leader, members := range topo.Groups {
+		ms := append([]string(nil), members...)
+		sortIPStrings(ms)
+		groups = append(groups, &discovered{leader: leader, key: strings.Join(ms, " ")})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+
+	segs := make([]string, 0, len(gt.Segments))
+	for s := range gt.Segments {
+		segs = append(segs, s)
+	}
+	sort.Strings(segs)
+	for _, seg := range segs {
+		want := strings.Join(gt.Segments[seg], " ")
+		found := false
+		for _, g := range groups {
+			if !g.used && g.key == want {
+				g.used, found = true, true
+				break
+			}
+		}
+		if !found {
+			out = append(out, fmt.Sprintf("segment %s: no discovered group matches {%s}", seg, want))
+		}
+	}
+	for _, g := range groups {
+		if !g.used {
+			out = append(out, fmt.Sprintf("discovered group led by %s has no matching segment: {%s}", g.leader, g.key))
+		}
+	}
+
+	// Dead nodes must match exactly.
+	reported := map[string]bool{}
+	for _, n := range topo.DeadNodes {
+		reported[n] = true
+	}
+	for _, n := range gt.DeadNodes {
+		if !reported[n] {
+			out = append(out, fmt.Sprintf("node %s is down but Central does not report it dead", n))
+		}
+		delete(reported, n)
+	}
+	for n := range reported {
+		out = append(out, fmt.Sprintf("Central reports %s dead but it is running", n))
+	}
+	return out
+}
+
+// DiffMismatches checks the verification verdicts against the
+// expectations: every expected substring must match at least one
+// verdict, and every verdict must be covered by some expectation.
+func (gt *GroundTruth) DiffMismatches(verdicts []string) []string {
+	var out []string
+	covered := make([]bool, len(verdicts))
+	for _, want := range gt.ExpectedMismatches {
+		hit := false
+		for i, v := range verdicts {
+			if strings.Contains(v, want) {
+				covered[i], hit = true, true
+			}
+		}
+		if !hit {
+			out = append(out, fmt.Sprintf("expected a %q verification verdict, got none", want))
+		}
+	}
+	for i, v := range verdicts {
+		if !covered[i] {
+			out = append(out, fmt.Sprintf("unexpected verification verdict: %s", v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/configdb"
+	"repro/internal/transport"
+)
+
+// groupsFromTruth rebuilds the discovered-topology groups a faithful
+// Central would report for a given ground truth: one group per
+// segment, led by any member.
+func groupsFromTruth(gt *GroundTruth) map[string][]string {
+	groups := map[string][]string{}
+	for _, members := range gt.Segments {
+		groups[members[0]] = members
+	}
+	return groups
+}
+
+func TestGroundTruthDiffClean(t *testing.T) {
+	f := DefaultFarm()
+	gt := f.GroundTruth(nil, nil, nil)
+	if len(gt.Segments) != 3 {
+		t.Fatalf("want 3 segments, got %v", gt.Segments)
+	}
+	topo := &TopologyDoc{Stable: true, Groups: groupsFromTruth(gt)}
+	if diff := gt.Diff(topo); len(diff) != 0 {
+		t.Fatalf("clean topology diffed: %v", diff)
+	}
+}
+
+func TestGroundTruthDiffDeadNode(t *testing.T) {
+	f := DefaultFarm()
+	gt := f.GroundTruth(nil, map[string]bool{"web-2": true}, nil)
+	for _, ip := range gt.Segments["vlan-101"] {
+		if ip == f.DataIP("web-2").String() {
+			t.Fatalf("dead node's adapter %s still in ground truth", ip)
+		}
+	}
+	topo := &TopologyDoc{Groups: groupsFromTruth(gt)}
+	diff := gt.Diff(topo)
+	if len(diff) != 1 || !strings.Contains(diff[0], "web-2") {
+		t.Fatalf("want one missing-dead-node complaint, got %v", diff)
+	}
+	topo.DeadNodes = []string{"web-2"}
+	if diff := gt.Diff(topo); len(diff) != 0 {
+		t.Fatalf("dead node reported but still diffed: %v", diff)
+	}
+	topo.DeadNodes = []string{"web-2", "web-3"}
+	diff = gt.Diff(topo)
+	if len(diff) != 1 || !strings.Contains(diff[0], "web-3") {
+		t.Fatalf("want one falsely-dead complaint, got %v", diff)
+	}
+}
+
+func TestGroundTruthDiffMovedAdapter(t *testing.T) {
+	f := DefaultFarm()
+	moved := f.DataIP("web-1") // starts on VLAN 101
+	vlanOf := func(ip transport.IP) int {
+		if ip == moved {
+			return 102
+		}
+		return 0
+	}
+	gt := f.GroundTruth(vlanOf, nil, nil)
+	for _, ip := range gt.Segments["vlan-101"] {
+		if ip == moved.String() {
+			t.Fatalf("moved adapter still listed on vlan-101")
+		}
+	}
+	found := false
+	for _, ip := range gt.Segments["vlan-102"] {
+		if ip == moved.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("moved adapter missing from vlan-102: %v", gt.Segments)
+	}
+
+	// A Central still believing the pre-move reality must diff on both
+	// affected segments.
+	stale := f.GroundTruth(nil, nil, nil)
+	diff := gt.Diff(&TopologyDoc{Groups: groupsFromTruth(stale)})
+	if len(diff) != 4 { // 2 unmatched segments + 2 orphan groups
+		t.Fatalf("want 4 divergences, got %v", diff)
+	}
+}
+
+func TestGroundTruthDiffMismatches(t *testing.T) {
+	gt := &GroundTruth{ExpectedMismatches: []string{"wrong-segment 10.0.2.1"}}
+	verdicts := []string{"wrong-segment 10.0.2.1 vlan=200 (configured vlan=100)"}
+	if diff := gt.DiffMismatches(verdicts); len(diff) != 0 {
+		t.Fatalf("expected mismatch not matched: %v", diff)
+	}
+	if diff := gt.DiffMismatches(nil); len(diff) != 1 {
+		t.Fatalf("want one missing-verdict complaint, got %v", diff)
+	}
+	gt.ExpectedMismatches = nil
+	if diff := gt.DiffMismatches(verdicts); len(diff) != 1 {
+		t.Fatalf("want one unexpected-verdict complaint, got %v", diff)
+	}
+}
+
+func TestFarmSpecConfigDBLies(t *testing.T) {
+	f := DefaultFarm()
+	wrong := f.DataIP("web-2")
+	omit := f.DataIP("web-4")
+	ghost := f.AdminIP("web-1") + 8
+	f.DBWrongVLAN = map[transport.IP]int{wrong: 102}
+	f.DBOmit = map[transport.IP]bool{omit: true}
+	f.DBGhosts = append(f.DBGhosts, configdb.AdapterSpec{
+		IP: ghost, Node: "web-9", Index: 0, VLAN: AdminVLAN,
+		Switch: f.SwitchName, Port: 9,
+	})
+
+	db, err := f.ConfigDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := db.Adapter(wrong); !ok || a.VLAN != 102 {
+		t.Fatalf("wrong-VLAN lie not planted: %+v ok=%v", a, ok)
+	}
+	if _, ok := db.Adapter(omit); ok {
+		t.Fatalf("omitted adapter still present in db")
+	}
+	if _, ok := db.Adapter(ghost); !ok {
+		t.Fatalf("ghost adapter missing from db")
+	}
+}

@@ -1,0 +1,57 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// The harness talks to daemons over their debug HTTP endpoints; calls
+// are local, so timeouts are short — except moves, which block on a
+// full SNMP round trip plus Central's event loop.
+const (
+	httpTimeout     = 5 * time.Second
+	httpMoveTimeout = 45 * time.Second
+)
+
+// httpGetJSON fetches url and decodes the JSON body into v.
+func httpGetJSON(url string, v any, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, truncate(body, 200))
+	}
+	return json.Unmarshal(body, v)
+}
+
+// httpCommand fetches url and requires a 200; the body is discarded.
+func httpCommand(url string, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, truncate(body, 200))
+	}
+	return nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}

@@ -1,0 +1,160 @@
+package conformance
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ReadyInfo is the one-line JSON readiness message gsd writes on its
+// -ready-fd descriptor once the protocol clock is running.
+type ReadyInfo struct {
+	Node        string   `json:"node"`
+	PID         int      `json:"pid"`
+	StartUnixNS int64    `json:"start_unix_ns"`
+	Adapters    []string `json:"adapters"`
+	DebugAddr   string   `json:"debug_addr"`
+}
+
+// readyTimeout bounds how long a daemon may take to report readiness.
+const readyTimeout = 20 * time.Second
+
+// Daemon is one incarnation of a gsd process under harness control.
+// A restarted node gets a fresh Daemon with Gen+1; the scraper keeps
+// every incarnation's trace stream as a separate source.
+type Daemon struct {
+	Node  string
+	Gen   int
+	Ready ReadyInfo
+	Log   string // per-daemon log file path
+
+	cmd  *exec.Cmd
+	mu   sync.Mutex
+	done bool
+	err  error
+	wait chan struct{}
+}
+
+// Source names this incarnation's trace stream ("web-1#2").
+func (d *Daemon) Source() string { return fmt.Sprintf("%s#%d", d.Node, d.Gen) }
+
+// DebugURL is the incarnation's debug endpoint base URL.
+func (d *Daemon) DebugURL() string { return "http://" + d.Ready.DebugAddr }
+
+// startDaemon launches argv[0] with the given arguments, wiring a pipe
+// onto child fd 3 and waiting for the readiness line. Stdout/stderr go
+// to logPath. The returned Daemon is running and ready.
+func startDaemon(node string, gen int, argv []string, logPath string) (*Daemon, error) {
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		return nil, err
+	}
+	defer pr.Close()
+
+	logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	defer logf.Close()
+
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	cmd.ExtraFiles = []*os.File{pw} // child fd 3
+	if err := cmd.Start(); err != nil {
+		pw.Close()
+		return nil, fmt.Errorf("conformance: start %s: %w", node, err)
+	}
+	pw.Close() // the child holds the write end now
+
+	d := &Daemon{Node: node, Gen: gen, Log: logPath, cmd: cmd, wait: make(chan struct{})}
+	go func() {
+		err := cmd.Wait()
+		d.mu.Lock()
+		d.done, d.err = true, err
+		d.mu.Unlock()
+		close(d.wait)
+	}()
+
+	lineCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pr)
+		if sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	select {
+	case line, ok := <-lineCh:
+		if !ok || line == "" {
+			d.Kill()
+			return nil, fmt.Errorf("conformance: %s exited before reporting ready (log: %s)", node, logPath)
+		}
+		if err := json.Unmarshal([]byte(line), &d.Ready); err != nil {
+			d.Kill()
+			return nil, fmt.Errorf("conformance: %s readiness line %q: %w", node, line, err)
+		}
+	case <-time.After(readyTimeout):
+		d.Kill()
+		return nil, fmt.Errorf("conformance: %s not ready within %v (log: %s)", node, readyTimeout, logPath)
+	}
+	if d.Ready.DebugAddr == "" {
+		d.Kill()
+		return nil, fmt.Errorf("conformance: %s reported no debug address", node)
+	}
+	return d, nil
+}
+
+// Alive reports whether the process is still running.
+func (d *Daemon) Alive() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.done
+}
+
+// Signal delivers a signal to the process (SIGSTOP/SIGCONT pauses).
+func (d *Daemon) Signal(sig syscall.Signal) error {
+	if !d.Alive() {
+		return fmt.Errorf("conformance: %s already exited", d.Source())
+	}
+	return d.cmd.Process.Signal(sig)
+}
+
+// Kill SIGKILLs the process and reaps it — the fail-stop crash.
+func (d *Daemon) Kill() {
+	d.mu.Lock()
+	done := d.done
+	d.mu.Unlock()
+	if !done {
+		_ = d.cmd.Process.Kill()
+		_ = d.cmd.Process.Signal(syscall.SIGCONT) // a stopped process ignores nothing but KILL+CONT
+	}
+	<-d.wait
+}
+
+// Stop SIGTERMs the process and verifies the deterministic clean exit.
+func (d *Daemon) Stop(timeout time.Duration) error {
+	if !d.Alive() {
+		return nil
+	}
+	_ = d.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-d.wait:
+		d.mu.Lock()
+		err := d.err
+		d.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("conformance: %s did not exit cleanly on SIGTERM: %w (log: %s)", d.Source(), err, d.Log)
+		}
+		return nil
+	case <-time.After(timeout):
+		d.Kill()
+		return fmt.Errorf("conformance: %s ignored SIGTERM for %v, killed", d.Source(), timeout)
+	}
+}

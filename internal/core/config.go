@@ -70,6 +70,16 @@ type Config struct {
 	// ReportRetry is the retransmit interval for unacked reports.
 	ReportRetry time.Duration
 
+	// ReportEpoch offsets this incarnation's report sequence numbers.
+	// Central dedups reports per reporting daemon by sequence number, so
+	// a freshly restarted process counting again from 1 would have its
+	// first reports silently swallowed as duplicates of its previous
+	// life's. Real daemons (gsd) set this to a value that grows across
+	// restarts (boot time in nanoseconds); simulated daemons keep 0 —
+	// the simulator reuses the Daemon object across restarts, so their
+	// counters are already monotonic.
+	ReportEpoch uint64
+
 	// AdminIndex is which adapter is the administrative one (paper: "by
 	// convention, adapter 0").
 	AdminIndex uint8

@@ -25,7 +25,9 @@ type reporter struct {
 	nextSeq  uint64
 }
 
-func newReporter(d *Daemon) *reporter { return &reporter{d: d, nextSeq: 1} }
+func newReporter(d *Daemon) *reporter {
+	return &reporter{d: d, nextSeq: d.cfg.ReportEpoch + 1}
+}
 
 func (r *reporter) reset() {
 	r.queue = nil

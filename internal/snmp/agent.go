@@ -48,14 +48,24 @@ type Agent struct {
 	ep        transport.Endpoint
 	mib       MIB
 	community string
+	port      uint16
 }
 
 // NewAgent binds an agent to ep's SNMP port, answering requests carrying
 // the given community string. Requests with the wrong community are
 // silently dropped (classic SNMP behaviour).
 func NewAgent(ep transport.Endpoint, community string, mib MIB) *Agent {
-	a := &Agent{ep: ep, mib: mib, community: community}
-	ep.Bind(transport.PortSNMP, a.handle)
+	return NewAgentOn(ep, community, mib, transport.PortSNMP)
+}
+
+// NewAgentOn is NewAgent on an explicit UDP port. The well-known SNMP
+// port is privileged on real hosts, so unprivileged harnesses (CI) run
+// their emulated switch agents high and point Central at the full
+// address — the client already targets whatever port the agent Addr
+// carries.
+func NewAgentOn(ep transport.Endpoint, community string, mib MIB, port uint16) *Agent {
+	a := &Agent{ep: ep, mib: mib, community: community, port: port}
+	ep.Bind(port, a.handle)
 	return a
 }
 
@@ -101,7 +111,7 @@ func (a *Agent) handle(src, _ transport.Addr, payload []byte) {
 		return
 	}
 	// Best effort; SNMP has no agent-side retry.
-	_ = a.ep.Unicast(transport.PortSNMP, src, out)
+	_ = a.ep.Unicast(a.port, src, out)
 }
 
 // MapMIB is a MIB backed by an ordered map, with an optional write hook so

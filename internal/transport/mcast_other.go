@@ -11,5 +11,9 @@ import (
 // IP_MULTICAST_IF socket option path; the default multicast route is used.
 func setMulticastInterface(_ *net.UDPConn, _ net.IP) error { return nil }
 
+// joinGroup4 reports unsupported so JoinGroup falls back to
+// net.ListenMulticastUDP (no per-group destination filtering).
+func joinGroup4(_ *net.UDPConn, _, _ net.IP) error { return syscall.EINVAL }
+
 // reuseControl is a no-op on platforms without SO_REUSEADDR handling here.
 func reuseControl(_, _ string, _ syscall.RawConn) error { return nil }

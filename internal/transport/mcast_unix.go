@@ -27,6 +27,42 @@ func reuseControl(_, _ string, c syscall.RawConn) error {
 // Without this the kernel uses the default multicast route, and daemons
 // bound to secondary addresses (e.g. several 127.0.0.x on loopback) never
 // hear each other's beacons.
+// joinGroup4 subscribes an already-bound UDP socket to an IPv4 multicast
+// group via the interface owning local. Combined with binding the socket
+// to the group address itself, this gives per-group delivery: the kernel
+// only queues datagrams whose destination matches the bound group, so an
+// endpoint joined to segment group A never sees segment group B traffic
+// on the same port. (net.ListenMulticastUDP binds the wildcard address on
+// some platforms, which delivers every group the host has joined.)
+func joinGroup4(conn *net.UDPConn, group, local net.IP) error {
+	g, l := group.To4(), local.To4()
+	if g == nil || l == nil {
+		return syscall.EINVAL
+	}
+	raw, err := conn.SyscallConn()
+	if err != nil {
+		return err
+	}
+	mreq := &syscall.IPMreq{}
+	copy(mreq.Multiaddr[:], g)
+	copy(mreq.Interface[:], l)
+	var serr error
+	cerr := raw.Control(func(fd uintptr) {
+		// Linux defaults to IP_MULTICAST_ALL=1, delivering every group
+		// any socket on the host joined to every group-bound socket on
+		// the port — which would bleed traffic across emulated segments.
+		// Turn it off; other unixes lack the option (and already filter
+		// by bound address), so errors are ignored.
+		const ipMulticastAll = 49
+		_ = syscall.SetsockoptInt(int(fd), syscall.IPPROTO_IP, ipMulticastAll, 0)
+		serr = syscall.SetsockoptIPMreq(int(fd), syscall.IPPROTO_IP, syscall.IP_ADD_MEMBERSHIP, mreq)
+	})
+	if cerr != nil {
+		return cerr
+	}
+	return serr
+}
+
 func setMulticastInterface(conn *net.UDPConn, local net.IP) error {
 	v4 := local.To4()
 	if v4 == nil {

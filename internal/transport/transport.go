@@ -123,3 +123,11 @@ type Endpoint interface {
 type Liveness interface {
 	Up() bool
 }
+
+// GroupLeaver is an optional interface of Endpoints that can drop a
+// multicast membership joined earlier with JoinGroup. The UDP endpoint
+// implements it; simulated endpoints may not (the simulator tears whole
+// adapters down instead), so callers type-assert.
+type GroupLeaver interface {
+	LeaveGroup(group IP, port uint16)
+}

@@ -42,6 +42,12 @@ func NewRuntime() *Runtime {
 // Now implements Clock: time since the runtime was created.
 func (r *Runtime) Now() time.Duration { return time.Since(r.start) }
 
+// Start returns the wall-clock instant Now is measured from. Processes
+// that export flight-recorder timestamps (which are Now offsets) publish
+// this so an external merger can align streams from different daemons
+// onto one farm-wide clock.
+func (r *Runtime) Start() time.Time { return r.start }
+
 // AfterFunc implements Clock. The callback is serialized onto the event
 // loop.
 func (r *Runtime) AfterFunc(d time.Duration, fn func()) Timer {
@@ -220,11 +226,15 @@ func (e *UDPEndpoint) Bind(port uint16, h Handler) {
 	}
 	_ = setMulticastInterface(conn, e.local)
 	e.socks[port] = conn
-	e.readLoop(conn, port)
+	e.readLoop(conn, port, false)
 }
 
-// readLoop pumps one socket into the event loop.
-func (e *UDPEndpoint) readLoop(conn *net.UDPConn, port uint16) {
+// readLoop pumps one socket into the event loop. mcast marks a group
+// membership socket, where our own transmissions echo back (multicast
+// loopback) and must be suppressed; on unicast-bound sockets a packet
+// from our own address is a genuine self-send (e.g. an AMG leader
+// reporting to the Central it hosts) and must be delivered.
+func (e *UDPEndpoint) readLoop(conn *net.UDPConn, port uint16, mcast bool) {
 	e.rt.wg.Add(1)
 	go func() {
 		defer e.rt.wg.Done()
@@ -237,7 +247,7 @@ func (e *UDPEndpoint) readLoop(conn *net.UDPConn, port uint16) {
 			pkt := make([]byte, n)
 			copy(pkt, buf[:n])
 			srcIP := ipFrom(src.IP)
-			if srcIP == e.ip && src.Port == int(port) {
+			if mcast && srcIP == e.ip && src.Port == int(port) {
 				continue // our own multicast loopback
 			}
 			e.rt.post(func() {
@@ -261,6 +271,9 @@ func ipFrom(ip net.IP) IP {
 }
 
 // JoinGroup implements Endpoint: listens on the multicast group address.
+// The socket is bound to the group address itself (not the wildcard) so
+// that only datagrams sent to this group reach it — endpoints on other
+// emulated segments sharing the port stay invisible.
 func (e *UDPEndpoint) JoinGroup(group IP, port uint16) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -268,16 +281,56 @@ func (e *UDPEndpoint) JoinGroup(group IP, port uint16) {
 	if _, ok := e.msocks[key]; ok {
 		return
 	}
-	gaddr := &net.UDPAddr{
-		IP:   net.IPv4(byte(group>>24), byte(group>>16), byte(group>>8), byte(group)),
-		Port: int(port),
+	gip := net.IPv4(byte(group>>24), byte(group>>16), byte(group>>8), byte(group))
+	if conn, err := listenUDPReuse(gip, int(port)); err == nil {
+		if joinGroup4(conn, gip, ifaceAddr4(e.ifi)) == nil {
+			e.msocks[key] = conn
+			e.readLoop(conn, port, true)
+			return
+		}
+		conn.Close()
 	}
-	conn, err := net.ListenMulticastUDP("udp4", e.ifi, gaddr)
+	// Portable fallback: wildcard-bound group socket (no per-group
+	// destination filtering, fine when every segment is a real network).
+	conn, err := net.ListenMulticastUDP("udp4", e.ifi, &net.UDPAddr{IP: gip, Port: int(port)})
 	if err != nil {
 		return
 	}
 	e.msocks[key] = conn
-	e.readLoop(conn, port)
+	e.readLoop(conn, port, true)
+}
+
+// ifaceAddr4 returns the first IPv4 address assigned to ifi (the address
+// IP_ADD_MEMBERSHIP identifies the interface by), or nil.
+func ifaceAddr4(ifi *net.Interface) net.IP {
+	if ifi == nil {
+		return nil
+	}
+	addrs, err := ifi.Addrs()
+	if err != nil {
+		return nil
+	}
+	for _, a := range addrs {
+		if ipn, ok := a.(*net.IPNet); ok {
+			if v4 := ipn.IP.To4(); v4 != nil {
+				return v4
+			}
+		}
+	}
+	return nil
+}
+
+// LeaveGroup implements GroupLeaver: it closes the (group, port)
+// membership socket, so packets to that group stop arriving. Unknown
+// memberships are ignored.
+func (e *UDPEndpoint) LeaveGroup(group IP, port uint16) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := Addr{IP: group, Port: port}
+	if c, ok := e.msocks[key]; ok {
+		c.Close()
+		delete(e.msocks, key)
+	}
 }
 
 func (e *UDPEndpoint) conn(srcPort uint16) (*net.UDPConn, error) {
@@ -295,7 +348,7 @@ func (e *UDPEndpoint) conn(srcPort uint16) (*net.UDPConn, error) {
 	}
 	_ = setMulticastInterface(conn, e.local)
 	e.socks[srcPort] = conn
-	e.readLoop(conn, srcPort)
+	e.readLoop(conn, srcPort, false)
 	return conn, nil
 }
 

@@ -9,6 +9,11 @@
 #   sudo ./scripts/netns-demo.sh move    # move node web-3 acme -> globex
 #   sudo ./scripts/netns-demo.sh down    # tear everything down
 #
+# The building blocks (gs_bridge, gs_attach, gs_start_node, ...) are
+# plain functions; `source` this file to reuse them in other harnesses.
+# The automated version of this demo is the conformance harness's netns
+# fabric: `go build ./cmd/gshive && sudo ./gshive run -fabric netns`.
+#
 # Topology (mirrors examples/webfarm, scaled down):
 #
 #   bridge gs-admin  10.1.0.0/24   administrative VLAN (all nodes)
@@ -27,29 +32,35 @@
 
 set -euo pipefail
 
+REPO_ROOT=$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)
 BRIDGES=(gs-admin gs-acme gs-globex)
 NODES=(web-1 web-2 web-3 web-4 web-5)
 LOGDIR=${LOGDIR:-/tmp/gulfstream-netns}
-GSD=${GSD:-$(dirname "$0")/../bin/gsd}
+GSD=${GSD:-$REPO_ROOT/bin/gsd}
 
-need_root() { [ "$(id -u)" = 0 ] || { echo "run as root (ip netns)"; exit 1; }; }
+gs_need_root() { [ "$(id -u)" = 0 ] || { echo "run as root (ip netns)"; exit 1; }; }
 
-build_gsd() {
+# gs_build_gsd ensures $GSD exists, building it in place when missing.
+gs_build_gsd() {
   if [ ! -x "$GSD" ]; then
-    echo "building gsd..."
-    (cd "$(dirname "$0")/.." && mkdir -p bin && go build -o bin/gsd ./cmd/gsd)
+    echo "building gsd -> $GSD"
+    mkdir -p "$(dirname "$GSD")"
+    (cd "$REPO_ROOT" && go build -o "$GSD" ./cmd/gsd)
   fi
 }
 
-mk_bridge() {
+# gs_bridge <name> — create a VLAN-segment bridge with multicast
+# flooding (snooping off), idempotent.
+gs_bridge() {
   ip link add "$1" type bridge 2>/dev/null || true
   ip link set "$1" up
   # Bridges must forward multicast for BEACON discovery.
   echo 0 > "/sys/class/net/$1/bridge/multicast_snooping" 2>/dev/null || true
 }
 
-# attach <ns> <bridge> <ifname> <addr/len>
-attach() {
+# gs_attach <ns> <bridge> <ifname> <addr/len> — wire a namespace
+# adapter into a segment via a veth pair.
+gs_attach() {
   local ns=$1 br=$2 ifn=$3 addr=$4
   ip link add "v-$ns-$ifn" type veth peer name "$ifn" netns "$ns"
   ip link set "v-$ns-$ifn" master "$br" up
@@ -60,7 +71,10 @@ attach() {
   ip netns exec "$ns" ip route add 224.0.0.0/4 dev "$ifn" 2>/dev/null || true
 }
 
-node_addrs() { # node index -> "adminIP dataIP dataBridge"
+# gs_detach <ns> <ifname> — unplug a namespace adapter (idempotent).
+gs_detach() { ip link del "v-$1-$2" 2>/dev/null || true; }
+
+gs_node_addrs() { # node index -> "adminIP dataIP dataBridge"
   local i=$1
   case "$i" in
     1|2|3) echo "10.1.0.1$i/24 10.2.0.1$i/24 gs-acme" ;;
@@ -68,27 +82,39 @@ node_addrs() { # node index -> "adminIP dataIP dataBridge"
   esac
 }
 
+# gs_start_node <ns> <adminIP> <dataIP> [extra gsd flags...] — launch a
+# daemon in its namespace, logging to $LOGDIR.
+gs_start_node() {
+  local ns=$1 adminIP=$2 dataIP=$3; shift 3
+  echo "starting gsd in $ns (admin $adminIP, data $dataIP)"
+  ip netns exec "$ns" "$GSD" \
+    -node "$ns" -adapters "$adminIP,$dataIP" \
+    -tb 5s -ts 5s -tgsc 15s "$@" \
+    > "$LOGDIR/$ns.log" 2>&1 &
+  echo $! > "$LOGDIR/$ns.pid"
+}
+
+# gs_stop_node <ns> — kill the daemon and delete its namespace.
+gs_stop_node() {
+  [ -f "$LOGDIR/$1.pid" ] && kill "$(cat "$LOGDIR/$1.pid")" 2>/dev/null || true
+  ip netns del "$1" 2>/dev/null || true
+}
+
 up() {
-  need_root; build_gsd
+  gs_need_root; gs_build_gsd
   mkdir -p "$LOGDIR"
-  for b in "${BRIDGES[@]}"; do mk_bridge "$b"; done
+  for b in "${BRIDGES[@]}"; do gs_bridge "$b"; done
   local i=1
   for n in "${NODES[@]}"; do
     ip netns add "$n" 2>/dev/null || true
-    read -r admin data dbr < <(node_addrs "$i")
-    attach "$n" gs-admin eth0 "$admin"
-    attach "$n" "$dbr" eth1 "$data"
-    local adminIP=${admin%/*} dataIP=${data%/*}
-    echo "starting gsd in $n (admin $adminIP, data $dataIP)"
-    ip netns exec "$n" "$GSD" \
-      -node "$n" -adapters "$adminIP,$dataIP" \
-      -tb 5s -ts 5s -tgsc 15s \
-      > "$LOGDIR/$n.log" 2>&1 &
-    echo $! > "$LOGDIR/$n.pid"
+    read -r admin data dbr < <(gs_node_addrs "$i")
+    gs_attach "$n" gs-admin eth0 "$admin"
+    gs_attach "$n" "$dbr" eth1 "$data"
+    gs_start_node "$n" "${admin%/*}" "${data%/*}"
     i=$((i+1))
   done
   echo
-  echo "daemons up; after ~25s ($(printf 'Tb+Ts+Tgsc')) the admin leader's log"
+  echo "daemons up; after ~25s (Tb+Ts+Tgsc) the admin leader's log"
   echo "shows GulfStream Central's farm view. logs: $LOGDIR/*.log"
 }
 
@@ -100,29 +126,29 @@ status() {
 }
 
 move() {
-  need_root
+  gs_need_root
   local ns=web-3
   echo "moving $ns's data adapter acme -> globex (the §3.1 scenario)"
-  ip link del "v-$ns-eth1" 2>/dev/null || true
-  attach "$ns" gs-globex eth1 "10.3.0.13/24"
+  gs_detach "$ns" eth1
+  gs_attach "$ns" gs-globex eth1 "10.3.0.13/24"
   echo "watch $LOGDIR: the old AMG reports the departure, the new AMG the"
   echo "join, and Central infers a (here: unexpected) domain move."
 }
 
 down() {
-  need_root
-  for n in "${NODES[@]}"; do
-    [ -f "$LOGDIR/$n.pid" ] && kill "$(cat "$LOGDIR/$n.pid")" 2>/dev/null || true
-    ip netns del "$n" 2>/dev/null || true
-  done
+  gs_need_root
+  for n in "${NODES[@]}"; do gs_stop_node "$n"; done
   for b in "${BRIDGES[@]}"; do ip link del "$b" 2>/dev/null || true; done
   echo "torn down."
 }
 
-case "${1:-}" in
-  up) up ;;
-  down) down ;;
-  status) status ;;
-  move) move ;;
-  *) echo "usage: $0 up|down|status|move"; exit 2 ;;
-esac
+# Dispatch only when executed, so the functions are sourceable.
+if [ "${BASH_SOURCE[0]}" = "$0" ]; then
+  case "${1:-}" in
+    up) up ;;
+    down) down ;;
+    status) status ;;
+    move) move ;;
+    *) echo "usage: $0 up|down|status|move"; exit 2 ;;
+  esac
+fi
